@@ -1,0 +1,103 @@
+// Command branchscope runs the covert-channel attack end to end on a
+// simulated machine and reports the error rate: a demo driver for the
+// library's main flow (spawn sender, pre-attack search, prime–step–probe
+// per bit, decode).
+//
+// Usage:
+//
+//	branchscope [-model Skylake] [-bits 10000] [-pattern random]
+//	            [-noisy] [-sgx] [-timing] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/experiments"
+	"branchscope/internal/trace"
+	"branchscope/internal/uarch"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "Skylake", "CPU model: Skylake, Haswell or SandyBridge")
+		bits    = flag.Int("bits", 10000, "number of secret bits to transmit per run")
+		runs    = flag.Int("runs", 1, "independent runs to average")
+		pattern = flag.String("pattern", "random", "bit pattern: zeros, ones or random")
+		noisy   = flag.Bool("noisy", false, "unrestricted setting (background noise shares the core)")
+		sgxMode = flag.Bool("sgx", false, "run the sender inside an SGX enclave with an OS-assisted spy")
+		timing  = flag.Bool("timing", false, "probe with rdtscp timing instead of the misprediction PMC")
+		seed    = flag.Uint64("seed", 1, "random seed (runs are fully deterministic per seed)")
+		verbose = flag.Bool("v", false, "print per-run error rates")
+		traced  = flag.Bool("trace", false, "record and summarize the spy's execution trace")
+	)
+	flag.Parse()
+
+	m, err := uarch.ByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var pat experiments.BitPattern
+	switch *pattern {
+	case "zeros":
+		pat = experiments.AllZeros
+	case "ones":
+		pat = experiments.AllOnes
+	case "random":
+		pat = experiments.RandomBits
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q (want zeros, ones or random)\n", *pattern)
+		os.Exit(2)
+	}
+	setting := experiments.Isolated
+	if *noisy {
+		setting = experiments.Noisy
+	}
+
+	cfg := experiments.CovertConfig{
+		Model:     m,
+		Setting:   setting,
+		Pattern:   pat,
+		Bits:      *bits,
+		Runs:      *runs,
+		SGX:       *sgxMode,
+		UseTiming: *timing,
+		Seed:      *seed,
+	}
+	var recorders []*trace.Recorder
+	if *traced {
+		cfg.SpyHook = func(ctx *cpu.Context) {
+			recorders = append(recorders, trace.Attach(ctx, 64))
+		}
+	}
+	fmt.Printf("BranchScope covert channel: %s, %s, %s, %d bits x %d run(s)",
+		m, setting, pat, *bits, *runs)
+	if *sgxMode {
+		fmt.Print(", sender in SGX enclave")
+	}
+	if *timing {
+		fmt.Print(", rdtscp probing")
+	}
+	fmt.Println()
+
+	res := experiments.RunCovert(cfg)
+	if *verbose {
+		for i, r := range res.PerRun {
+			fmt.Printf("  run %d: %.3f%%\n", i+1, 100*r)
+		}
+	}
+	if res.SetupFailed > 0 {
+		fmt.Printf("pre-attack block search failed in %d run(s)\n", res.SetupFailed)
+	}
+	fmt.Printf("average error rate: %.3f%%\n", 100*res.ErrorRate)
+	if *traced {
+		for i, rec := range recorders {
+			s := rec.Summary()
+			fmt.Printf("spy trace, run %d: %s\n", i+1, s)
+			fmt.Printf("  last branches: %s\n", rec.Directions())
+		}
+	}
+}

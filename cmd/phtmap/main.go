@@ -1,0 +1,51 @@
+// Command phtmap reverse engineers the simulated PHT the way §6.3 of the
+// paper does on real silicon: it decodes the predictor state behind a
+// contiguous range of virtual addresses and recovers the PHT size from
+// the periodicity of the state vector (Figure 5).
+//
+// Usage:
+//
+//	phtmap [-model Skylake] [-start 0x300000] [-addresses 65536] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"branchscope/internal/experiments"
+	"branchscope/internal/uarch"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "Skylake", "CPU model: Skylake, Haswell or SandyBridge")
+		start = flag.String("start", "0x300000", "first probed virtual address (64 KiB aligned)")
+		count = flag.Int("addresses", 0, "number of contiguous addresses to probe (default 4x PHT size)")
+		block = flag.Int("block", 4000, "randomization block size in branches")
+		pairs = flag.Int("pairs", 100, "random subvector pairs per window size")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	m, err := uarch.ByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	startAddr, err := strconv.ParseUint(*start, 0, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -start: %v\n", err)
+		os.Exit(2)
+	}
+	res := experiments.RunFig5(experiments.Fig5Config{
+		Model:         m,
+		Start:         startAddr,
+		Addresses:     *count,
+		BlockBranches: *block,
+		Pairs:         *pairs,
+		Seed:          *seed,
+	})
+	fmt.Print(res)
+}

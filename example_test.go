@@ -1,0 +1,71 @@
+package branchscope_test
+
+import (
+	"fmt"
+	"math/big"
+
+	"branchscope"
+)
+
+// The canonical BranchScope flow: prime the shared predictor, let the
+// victim execute one branch, probe, decode.
+func ExampleNewSession() {
+	sys := branchscope.NewSystem(branchscope.Skylake(), 42)
+	secret := []bool{true, false, true, true, false, false, true, false}
+	victim := sys.Spawn("victim", branchscope.SecretArraySender(secret, 0))
+
+	spy := sys.NewProcess("spy")
+	sess, err := branchscope.NewSession(spy, branchscope.NewRand(1), branchscope.AttackConfig{
+		Search: branchscope.SearchConfig{
+			TargetAddr: branchscope.SecretBranchAddr,
+			Focused:    true,
+		},
+	})
+	if err != nil {
+		fmt.Println("setup failed:", err)
+		return
+	}
+	errs := 0
+	for _, want := range secret {
+		if sess.SpyBit(victim, nil, nil) != want {
+			errs++
+		}
+	}
+	fmt.Printf("leaked %d bits with %d errors\n", len(secret), errs)
+	// Output: leaked 8 bits with 0 errors
+}
+
+// Stealing a private exponent from a Montgomery-ladder exponentiation
+// service (§9.2).
+func ExampleRecoverMontgomeryExponent() {
+	sys := branchscope.NewSystem(branchscope.Skylake(), 7)
+	exp := new(big.Int).SetUint64(0xdead_beef)
+	res, err := branchscope.RecoverMontgomeryExponent(sys, exp, 1, 3)
+	if err != nil {
+		fmt.Println("setup failed:", err)
+		return
+	}
+	fmt.Printf("recovered %#x with %d bit errors\n", res.Recovered, res.BitErrors)
+	// Output: recovered 0xdeadbeef with 0 bit errors
+}
+
+// Reverse engineering the PHT size from user space (§6.3, Figure 5).
+func ExampleDiscoverPHTSize() {
+	model := branchscope.SandyBridge()
+	sys := branchscope.NewSystem(model, 5)
+	spy := sys.NewProcess("spy")
+	mapper := branchscope.NewMapper(sys, spy, branchscope.NewRand(11))
+	states := mapper.MapStates(0x300000, 4*model.BPU.PHTSize, 3000)
+	size, _ := branchscope.DiscoverPHTSize(states, nil, 50, branchscope.NewRand(3))
+	fmt.Println("PHT size:", size)
+	// Output: PHT size: 4096
+}
+
+// The Table 1 decode dictionary in action.
+func ExampleDecodeBit() {
+	// With the entry primed strongly-not-taken and probed with taken
+	// branches, a taken victim branch leaves the MH pattern and a
+	// not-taken one leaves MM.
+	fmt.Println(branchscope.DecodeBit("MH"), branchscope.DecodeBit("MM"))
+	// Output: true false
+}

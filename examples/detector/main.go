@@ -1,0 +1,21 @@
+// Detector: the §10.2 countermeasure that hunts the attack's footprint.
+// The interesting part is *which* footprint works: the randomization
+// block's mispredictions disappear after its first execution (static code
+// — the predictor learns it), but the block cannot avoid churning the
+// predictor's branch working set, because evicting the victim's branch is
+// its entire purpose. An allocation-density monitor separates a
+// BranchScope spy from benign services cleanly.
+package main
+
+import (
+	"fmt"
+
+	"branchscope"
+)
+
+func main() {
+	r := branchscope.RunDetectionDemo(400, 7)
+	fmt.Print(r)
+	fmt.Println("\nmisprediction rate is the wrong footprint (the spy's block is")
+	fmt.Println("learned after one run); working-set churn is the durable one.")
+}

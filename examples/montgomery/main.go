@@ -1,0 +1,32 @@
+// Montgomery: recover a 256-bit private exponent from a Montgomery-ladder
+// modular exponentiation service (§9.2). The ladder performs identical
+// work on both paths — defeating classic timing attacks — but its
+// key-bit branch direction leaks through the directional predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"branchscope"
+)
+
+func main() {
+	sys := branchscope.NewSystem(branchscope.Skylake(), 99)
+
+	// The secret exponent of the victim's decryption service.
+	exp, _ := new(big.Int).SetString(
+		"c3a9f1d4820b67e5d1139a4b55f0286ce9f10c44ab317d0297b6e8d24f3a5c71", 16)
+
+	fmt.Printf("victim exponent: %x\n", exp)
+	res, err := branchscope.RecoverMontgomeryExponent(sys, exp, 1, 5)
+	if err != nil {
+		log.Fatalf("attack setup failed: %v", err)
+	}
+	fmt.Printf("recovered:       %x\n", res.Recovered)
+	fmt.Println(res)
+	if res.Recovered.Cmp(exp) == 0 {
+		fmt.Println("private exponent fully recovered")
+	}
+}

@@ -1,0 +1,39 @@
+// PHT discovery: reverse engineer the size of the pattern history table
+// from user space (§6.3, Figure 5). The attacker decodes the PHT state
+// behind a contiguous address range and finds the window size at which
+// the state vector repeats, using the normalized Hamming distance
+// statistic H(w)/w of Equations 1-4.
+package main
+
+import (
+	"fmt"
+
+	"branchscope"
+)
+
+func main() {
+	model := branchscope.SandyBridge() // 4096-entry PHT keeps the demo fast
+	sys := branchscope.NewSystem(model, 31)
+	spy := sys.NewProcess("spy")
+
+	mapper := branchscope.NewMapper(sys, spy, branchscope.NewRand(5))
+	const start = 0x300000
+	addresses := 4 * model.BPU.PHTSize
+	fmt.Printf("probing %d contiguous addresses from %#x on %s...\n",
+		addresses, start, model)
+	states := mapper.MapStates(start, addresses, 3000)
+
+	fmt.Print("first 24 decoded states: ")
+	for _, s := range states[:24] {
+		fmt.Printf("%s ", s)
+	}
+	fmt.Println()
+
+	size, scan := branchscope.DiscoverPHTSize(states, nil, 80, branchscope.NewRand(9))
+	fmt.Println("window    H(w)/w")
+	for _, p := range scan {
+		fmt.Printf("%-9d %.4f\n", p.Window, p.Ratio)
+	}
+	fmt.Printf("discovered PHT size: %d entries (model truth: %d)\n",
+		size, model.BPU.PHTSize)
+}

@@ -1,0 +1,20 @@
+// Poisoning: run the BranchScope collision primitive in reverse (§1).
+// Instead of reading the victim's branch direction, the attacker *writes*
+// the prediction: it primes the victim's PHT entry against the branch's
+// actual direction, forcing a misprediction on every execution — the
+// directional-predictor half of a Spectre-style branch-poisoning setup,
+// which the paper identifies as sharing BranchScope's mechanism.
+package main
+
+import (
+	"fmt"
+
+	"branchscope"
+)
+
+func main() {
+	r := branchscope.RunPoisoningDemo(512, 7)
+	fmt.Print(r)
+	fmt.Println("\nthe same PHT collisions that *read* a victim's branch direction")
+	fmt.Println("can *write* its next prediction — on demand, per execution.")
+}

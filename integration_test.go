@@ -1,0 +1,95 @@
+package branchscope_test
+
+import (
+	"fmt"
+	"testing"
+
+	"branchscope"
+)
+
+// TestAttackMatrix exercises the full attack across the configuration
+// space the paper claims it works in: every CPU model, user-space and SGX
+// victims, PMC and timing probes. Error-rate ceilings are per-probe
+// mechanism (timing probes are single-shot and inherently noisier, per
+// Figure 8).
+func TestAttackMatrix(t *testing.T) {
+	const bits = 250
+	for _, model := range branchscope.Models() {
+		for _, sgx := range []bool{false, true} {
+			for _, timing := range []bool{false, true} {
+				name := fmt.Sprintf("%s/sgx=%v/timing=%v", model.Name, sgx, timing)
+				t.Run(name, func(t *testing.T) {
+					sys := branchscope.NewSystem(model, 0xA11)
+					secret := branchscope.NewRand(0x5ec).Bits(bits)
+					sender := branchscope.LoopingSecretArraySender(secret, 0)
+					var victim branchscope.Stepper
+					if sgx {
+						e := branchscope.LaunchEnclave(sys, "sender", sender)
+						defer e.Destroy()
+						victim = e
+					} else {
+						th := sys.Spawn("sender", sender)
+						defer th.Kill()
+						victim = th
+					}
+					spy := sys.NewProcess("spy")
+					sess, err := branchscope.NewSession(spy, branchscope.NewRand(2), branchscope.AttackConfig{
+						Search: branchscope.SearchConfig{
+							TargetAddr: branchscope.SecretBranchAddr,
+							Focused:    true,
+						},
+						UseTiming:             timing,
+						TimingCalibrationReps: 600,
+					})
+					if err != nil {
+						t.Fatalf("NewSession: %v", err)
+					}
+					errs := 0
+					for _, want := range secret {
+						if sess.SpyBit(victim, nil, nil) != want {
+							errs++
+						}
+					}
+					rate := float64(errs) / float64(bits)
+					limit := 0.05
+					if timing {
+						limit = 0.25 // single-shot timing probes (Fig 8 m=1)
+					}
+					t.Logf("%s: error %.2f%%", name, 100*rate)
+					if rate > limit {
+						t.Errorf("error rate %.2f%% exceeds %.0f%% ceiling", 100*rate, 100*limit)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDeterministicReplay asserts the whole stack is reproducible: two
+// complete attack runs from the same seeds leak identical bit streams.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []bool {
+		sys := branchscope.NewSystem(branchscope.Skylake(), 77)
+		secret := branchscope.NewRand(3).Bits(120)
+		victim := sys.Spawn("sender", branchscope.LoopingSecretArraySender(secret, 0))
+		defer victim.Kill()
+		spy := sys.NewProcess("spy")
+		sess, err := branchscope.NewSession(spy, branchscope.NewRand(4), branchscope.AttackConfig{
+			Search: branchscope.SearchConfig{TargetAddr: branchscope.SecretBranchAddr, Focused: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, len(secret))
+		for i := range out {
+			out[i] = sess.SpyBit(victim, nil, nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at bit %d", i)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package attacks builds the end-to-end attack applications of §9.2 on
+// top of the BranchScope primitive (internal/core):
+//
+//   - Montgomery-ladder exponent recovery: steal a private exponent one
+//     key bit per ladder iteration;
+//   - libjpeg IDCT structure recovery: learn which rows/columns of each
+//     decoded 8×8 block carry non-zero coefficients, i.e. the relative
+//     complexity of the image;
+//   - ASLR derandomization: locate a victim branch in the randomized
+//     address space by scanning for PHT collisions;
+//   - the baseline BTB eviction attack from prior work (§11), used to
+//     compare BranchScope against the previously known branch-predictor
+//     channel and to show that BTB defenses do not affect BranchScope.
+package attacks

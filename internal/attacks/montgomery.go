@@ -1,0 +1,80 @@
+package attacks
+
+import (
+	"fmt"
+	"math/big"
+
+	"branchscope/internal/core"
+	"branchscope/internal/rng"
+	"branchscope/internal/sched"
+	"branchscope/internal/victims"
+)
+
+// MontgomeryResult reports an exponent-recovery run.
+type MontgomeryResult struct {
+	// Recovered is the attacker's reconstruction of the exponent.
+	Recovered *big.Int
+	// BitErrors is the number of ladder bits recovered incorrectly.
+	BitErrors int
+	// Bits is the number of secret bits attacked.
+	Bits int
+}
+
+// ErrorRate returns the per-bit recovery error.
+func (r MontgomeryResult) ErrorRate() float64 {
+	if r.Bits == 0 {
+		return 0
+	}
+	return float64(r.BitErrors) / float64(r.Bits)
+}
+
+// String implements fmt.Stringer.
+func (r MontgomeryResult) String() string {
+	return fmt.Sprintf("montgomery recovery: %d/%d bit errors (%.2f%%)",
+		r.BitErrors, r.Bits, 100*r.ErrorRate())
+}
+
+// RecoverMontgomeryExponent runs the full §9.2 Montgomery-ladder attack
+// on a fresh system: a victim service repeatedly exponentiates with the
+// secret exponent, and the spy steals one key bit per ladder iteration
+// with a prime–step–probe episode. majority > 1 attacks each bit across
+// that many independent traces and votes.
+func RecoverMontgomeryExponent(sys *sched.System, exp *big.Int, majority int, seed uint64) (MontgomeryResult, error) {
+	if majority < 1 {
+		majority = 1
+	}
+	base := big.NewInt(0x10001)
+	modulus := new(big.Int).Lsh(big.NewInt(1), 127)
+	modulus.Sub(modulus, big.NewInt(1)) // 2^127-1, prime
+	victim := sys.Spawn("montgomery", victims.MontgomeryProcess(base, exp, modulus, nil))
+	defer victim.Kill()
+
+	spy := sys.NewProcess("spy")
+	sess, err := core.NewSession(spy, rng.New(seed), core.AttackConfig{
+		Search: core.SearchConfig{TargetAddr: victims.LadderBranchAddr, Focused: true},
+	})
+	if err != nil {
+		return MontgomeryResult{}, err
+	}
+
+	truth := victims.ExponentBits(exp)
+	nbits := len(truth)
+	votes := make([]int, nbits)
+	for trace := 0; trace < majority; trace++ {
+		for i := 0; i < nbits; i++ {
+			if sess.SpyBit(victim, nil, nil) {
+				votes[i]++
+			}
+		}
+	}
+	recovered := make([]bool, nbits)
+	res := MontgomeryResult{Bits: nbits}
+	for i, v := range votes {
+		recovered[i] = v*2 > majority
+		if recovered[i] != truth[i] {
+			res.BitErrors++
+		}
+	}
+	res.Recovered = victims.BitsToExponent(recovered)
+	return res, nil
+}

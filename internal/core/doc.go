@@ -1,0 +1,29 @@
+// Package core implements the BranchScope attack — the paper's primary
+// contribution (§4–§8): inferring the direction of a victim's conditional
+// branch by manipulating the shared directional branch predictor.
+//
+// The attack proceeds in three stages per leaked bit:
+//
+//	Stage 1 (prime):  the spy executes a randomization block of branch
+//	                  instructions (§5.2, Listing 1) that forces both the
+//	                  spy and victim branches into 1-level prediction mode
+//	                  and leaves the target PHT entry in a chosen strong
+//	                  state (§6.2).
+//	Stage 2 (target): the victim executes the monitored branch once.
+//	Stage 3 (probe):  the spy executes its own branch — placed at the
+//	                  same virtual address, hence colliding in the PHT —
+//	                  twice, observing for each execution whether it was
+//	                  predicted correctly, and decodes the victim's
+//	                  direction from the observation pattern (Table 1,
+//	                  Figure 6).
+//
+// Observations come either from the branch-misprediction performance
+// counter (§7) or from rdtscp timing (§8); both probe flavours are
+// implemented.
+//
+// Everything in this package operates strictly through the architectural
+// interface of cpu.Context (Branch/ReadTSC/ReadPMC) — the same interface
+// a real attacker has. It never reads simulator internals; decode
+// dictionaries are derived from observed behaviour exactly as the paper
+// derives them.
+package core

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"testing"
+
+	"branchscope/internal/rng"
+	"branchscope/internal/sched"
+	"branchscope/internal/uarch"
+)
+
+func TestMapperDiscoversPHTSizeQuick(t *testing.T) {
+	m := uarch.SandyBridge() // PHT 4096 keeps the quick test fast
+	sys := sched.NewSystem(m, 3)
+	spy := sys.NewProcess("spy")
+	mapper := NewMapper(sys.Core(), spy, rng.New(5))
+	states := mapper.MapStates(0x300000, 4*4096, 3000)
+	size, _ := DiscoverPHTSize(states, nil, 60, rng.New(9))
+	if size != 4096 {
+		t.Errorf("discovered PHT size %d, want 4096", size)
+	}
+}

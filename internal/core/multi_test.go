@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/rng"
+	"branchscope/internal/sched"
+	"branchscope/internal/uarch"
+)
+
+func TestMultiSessionSpiesManyBranches(t *testing.T) {
+	for _, m := range []uarch.Model{uarch.Haswell(), uarch.Skylake()} {
+		t.Run(m.Name, func(t *testing.T) {
+			sys := sched.NewSystem(m, 11)
+			// A victim executing 8 branches at distinct addresses per round,
+			// with per-round random directions.
+			addrs := make([]uint64, 8)
+			for i := range addrs {
+				addrs[i] = 0x0042_1000 + uint64(i)*0x20
+			}
+			vr := rng.New(5)
+			var truth [][]bool
+			victim := sys.Spawn("victim", func(ctx *cpu.Context) {
+				for {
+					// The round's directions are committed to the log
+					// before any branch executes, so a spy that pauses
+					// the victim mid-round still finds its ground truth.
+					round := vr.Bits(len(addrs))
+					truth = append(truth, round)
+					for i, a := range addrs {
+						ctx.Work(2)
+						ctx.Branch(a, round[i])
+					}
+				}
+			})
+			defer victim.Kill()
+
+			spy := sys.NewProcess("spy")
+			start := time.Now()
+			ms, err := NewMultiSession(spy, rng.New(3), MultiConfig{
+				Targets: addrs,
+				AllowST: m.Name != "Skylake",
+			})
+			if err != nil {
+				t.Fatalf("NewMultiSession: %v", err)
+			}
+			t.Logf("%s: search took %v; primed states:", m.Name, time.Since(start))
+			for _, tg := range ms.Targets() {
+				t.Logf("  %#x -> %v (probe taken=%v)", tg.Addr, tg.Primed, tg.ProbeTaken)
+			}
+			errs, total := 0, 0
+			const rounds = 40
+			for r := 0; r < rounds; r++ {
+				got := ms.SpyBits(victim)
+				want := truth[len(truth)-1]
+				for i := range got {
+					total++
+					if got[i] != want[i] {
+						errs++
+					}
+				}
+			}
+			rate := float64(errs) / float64(total)
+			t.Logf("%s: multi-spy error rate %.2f%% (%d/%d)", m.Name, 100*rate, errs, total)
+			if rate > 0.05 {
+				t.Errorf("error rate %.2f%% too high", 100*rate)
+			}
+		})
+	}
+}

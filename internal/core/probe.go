@@ -1,0 +1,35 @@
+package core
+
+import "branchscope/internal/cpu"
+
+// ProbePMC performs one probe operation (§6.1 stage 3): it executes the
+// spy branch at addr twice with the given direction, reading the
+// branch-misprediction performance counter around each execution, and
+// returns the observed pattern. This is the Listing 3 spy_function.
+func ProbePMC(ctx *cpu.Context, addr uint64, taken bool) Pattern {
+	m0 := ctx.ReadPMC(cpu.BranchMisses)
+	ctx.Branch(addr, taken)
+	m1 := ctx.ReadPMC(cpu.BranchMisses)
+	ctx.Branch(addr, taken)
+	m2 := ctx.ReadPMC(cpu.BranchMisses)
+	return MakePattern(m1 > m0, m2 > m1)
+}
+
+// TSCSample is the raw material of a timing probe: the rdtscp-measured
+// latency of each of the two probe branch executions (§8).
+type TSCSample struct {
+	First  uint64
+	Second uint64
+}
+
+// ProbeTSC performs one probe operation measuring each branch execution
+// with the timestamp counter instead of the PMC. The caller classifies
+// the latencies against a calibrated threshold (see TimingDetector).
+func ProbeTSC(ctx *cpu.Context, addr uint64, taken bool) TSCSample {
+	t0 := ctx.ReadTSC()
+	ctx.Branch(addr, taken)
+	t1 := ctx.ReadTSC()
+	ctx.Branch(addr, taken)
+	t2 := ctx.ReadTSC()
+	return TSCSample{First: t1 - t0, Second: t2 - t1}
+}

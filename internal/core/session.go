@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/rng"
+)
+
+// AttackConfig parameterizes a BranchScope attack session.
+type AttackConfig struct {
+	// Search configures randomization-block generation and the §6.2
+	// pre-attack search. Search.TargetAddr must be the victim branch
+	// address.
+	Search SearchConfig
+	// MaxCandidates bounds the pre-attack block search.
+	MaxCandidates int
+	// UseTiming selects rdtscp probing (§8) instead of the
+	// branch-misprediction PMC (§7). Timing probes are noisier.
+	UseTiming bool
+	// TimingCalibrationReps is the number of calibration samples per
+	// class for the timing detector (default 2000).
+	TimingCalibrationReps int
+}
+
+// Session is a ready-to-use BranchScope attack instance: a spy context, a
+// pre-searched randomization block that primes the target PHT entry into
+// the strongly-not-taken state, and a probe strategy.
+//
+// The standard configuration primes SN and probes with two taken
+// branches; DecodeBit's dictionary corresponds to it. (On every modelled
+// FSM this configuration is unambiguous; in particular it sidesteps the
+// Skylake ST/WT indistinguishability, as §6.1 notes the attacker can.)
+type Session struct {
+	spy      *cpu.Context
+	cfg      AttackConfig
+	block    *Block
+	analysis BlockAnalysis
+	detector *TimingDetector
+}
+
+// NewSession performs the one-time pre-attack work (block search, and
+// timing calibration when UseTiming) and returns an attack session. spy
+// is the attacker's hardware context; r drives block generation.
+func NewSession(spy *cpu.Context, r *rng.Source, cfg AttackConfig) (*Session, error) {
+	if cfg.Search.TargetAddr == 0 {
+		return nil, fmt.Errorf("core: AttackConfig.Search.TargetAddr not set")
+	}
+	cfg.Search = cfg.Search.withDefaults()
+	block, analysis, err := FindBlock(spy, r, cfg.Search, StateSN, cfg.MaxCandidates)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{spy: spy, cfg: cfg, block: block, analysis: analysis}
+	if cfg.UseTiming {
+		reps := cfg.TimingCalibrationReps
+		if reps == 0 {
+			reps = 2000
+		}
+		s.detector = CalibrateTiming(spy, cfg.Search.SpyBase+1<<20, reps)
+	}
+	return s, nil
+}
+
+// Block returns the selected randomization block.
+func (s *Session) Block() *Block { return s.block }
+
+// Analysis returns the pre-attack characterization of the block.
+func (s *Session) Analysis() BlockAnalysis { return s.analysis }
+
+// Detector returns the calibrated timing detector (nil unless UseTiming).
+func (s *Session) Detector() *TimingDetector { return s.detector }
+
+// Spy returns the attacker's hardware context.
+func (s *Session) Spy() *cpu.Context { return s.spy }
+
+// Prime executes attack stage 1: run the randomization block, forcing
+// 1-level prediction for the target branch and leaving its PHT entry in
+// the strongly-not-taken state.
+func (s *Session) Prime() {
+	s.block.Run(s.spy)
+}
+
+// Probe executes attack stage 3 and returns the observation pattern. It
+// uses the PMC or the timestamp counter per the session configuration.
+func (s *Session) Probe() Pattern {
+	if s.cfg.UseTiming {
+		sample := ProbeTSC(s.spy, s.cfg.Search.TargetAddr, true)
+		return MakePattern(s.detector.Miss(sample.First), s.detector.Miss(sample.Second))
+	}
+	return ProbePMC(s.spy, s.cfg.Search.TargetAddr, true)
+}
+
+// Stepper lets the attacker run the victim for an exact number of
+// conditional branches — the victim-slowdown capability of the threat
+// model (§3). sched.Thread and sgx.Enclave implement it.
+type Stepper interface {
+	StepBranches(k int) bool
+}
+
+// SpyBit performs one full attack episode against a steppable victim:
+// prime, let the victim execute exactly one branch, probe, decode. before
+// and after, when non-nil, run between the stages (noise injection
+// points). It returns the inferred direction of the victim's branch.
+func (s *Session) SpyBit(victim Stepper, before, after func()) bool {
+	s.Prime()
+	if before != nil {
+		before()
+	}
+	victim.StepBranches(1)
+	if after != nil {
+		after()
+	}
+	return DecodeBit(s.Probe())
+}

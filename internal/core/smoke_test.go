@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/rng"
+	"branchscope/internal/sched"
+	"branchscope/internal/uarch"
+)
+
+const victimAddr = 0x0040_06d0 // Listing 2's victim branch neighbourhood
+
+// TestEndToEndAttackSkylake is the package smoke test: a full covert
+// transmission of a known bit string on the Skylake model, isolated
+// setting, PMC probing. It must achieve a near-zero error rate.
+func TestEndToEndAttackSkylake(t *testing.T) {
+	for _, m := range []uarch.Model{uarch.Skylake(), uarch.Haswell(), uarch.SandyBridge()} {
+		t.Run(m.Name, func(t *testing.T) {
+			sys := sched.NewSystem(m, 0xb5)
+			secret := rng.New(7).Bits(400)
+			victim := sys.Spawn("victim", func(ctx *cpu.Context) {
+				for _, bit := range secret {
+					ctx.Work(3)
+					ctx.Branch(victimAddr, bit)
+				}
+			})
+			defer victim.Kill()
+
+			spy := sys.NewProcess("spy")
+			sess, err := NewSession(spy, rng.New(1), AttackConfig{
+				Search: SearchConfig{TargetAddr: victimAddr, Focused: true},
+			})
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			errs := 0
+			for _, want := range secret {
+				if got := sess.SpyBit(victim, nil, nil); got != want {
+					errs++
+				}
+			}
+			rate := float64(errs) / float64(len(secret))
+			t.Logf("%s: error rate %.2f%% (%d/%d)", m.Name, 100*rate, errs, len(secret))
+			if rate > 0.05 {
+				t.Errorf("error rate %.2f%% too high for isolated setting", 100*rate)
+			}
+		})
+	}
+}

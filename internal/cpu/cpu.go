@@ -1,0 +1,324 @@
+// Package cpu implements the execution substrate of the simulation: a
+// physical core with a cycle clock, a shared branch prediction unit, an
+// instruction cache, and per-hardware-context architectural interfaces —
+// branch execution, a timestamp counter (the paper's rdtscp, §8), and
+// performance counters (the paper's branch-misprediction PMC, §7).
+//
+// Code running on a Context only sees architectural state: it executes
+// instructions and reads counters. All microarchitectural state (PHT,
+// selector, GHR, tags, BTB, icache) lives in the Core and is observable
+// only through its timing and prediction side effects — which is exactly
+// the channel BranchScope exploits.
+package cpu
+
+import (
+	"fmt"
+
+	"branchscope/internal/bpu"
+	"branchscope/internal/rng"
+)
+
+// Event identifies a hardware performance counter.
+type Event int
+
+const (
+	// Instructions counts retired instructions.
+	Instructions Event = iota
+	// BranchInstructions counts retired conditional branches.
+	BranchInstructions
+	// BranchMisses counts mispredicted conditional branches.
+	BranchMisses
+	// BranchAllocations counts conditional branches newly allocated in
+	// the predictor's seen-branch tracker (tag misses at commit) — the
+	// branch-working-set churn signal used by the hardware detection
+	// countermeasure of internal/detect.
+	BranchAllocations
+	// numEvents sizes the counter file.
+	numEvents
+)
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e {
+	case Instructions:
+		return "instructions"
+	case BranchInstructions:
+		return "branch-instructions"
+	case BranchMisses:
+		return "branch-misses"
+	case BranchAllocations:
+		return "branch-allocations"
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// Timing parameterizes the cycle cost model. The absolute values are
+// calibrated so the TSC-observable distributions have the shape of the
+// paper's Figures 7–9 (measured hit latency near 90 cycles, miss near
+// 140, noisy first executions); they are not claimed to match any
+// specific silicon.
+type Timing struct {
+	// BaseInstr is the cycle cost of a non-branch instruction.
+	BaseInstr uint64
+	// BranchBase is the cost of a correctly predicted branch as
+	// observed by a TSC measurement pair around it (it folds in the
+	// surrounding measurement scaffolding, as real rdtscp timings do).
+	BranchBase uint64
+	// MispredictPenalty is the extra cost of a direction misprediction
+	// (pipeline flush and refetch).
+	MispredictPenalty uint64
+	// BTBMissPenalty is the extra cost of a taken branch whose target
+	// missed in the BTB (front-end redirect).
+	BTBMissPenalty uint64
+	// TSCOverhead is the cost of one ReadTSC (rdtscp serializes).
+	TSCOverhead uint64
+	// JitterSigma is the standard deviation of the per-branch Gaussian
+	// timing noise.
+	JitterSigma float64
+	// SpikeProb is the probability that an instruction's timing is
+	// perturbed by an unrelated event (interrupt, SMT contention,
+	// frequency wiggle); SpikeMax bounds the uniform perturbation.
+	SpikeProb float64
+	// SpikeMax is the maximum extra cycles added by a spike.
+	SpikeMax uint64
+	// ICacheMissMin and ICacheMissMax bound the uniform extra cost of a
+	// first-touch (cold) instruction fetch. The wide range models the
+	// unpredictable level of the memory hierarchy that services the
+	// miss; it is what makes the paper's first measurement unreliable
+	// (Figure 8).
+	ICacheMissMin uint64
+	ICacheMissMax uint64
+}
+
+// DefaultTiming returns the calibrated timing model shared by the three
+// CPU models (the paper's figures do not differentiate latency by
+// microarchitecture).
+func DefaultTiming() Timing {
+	return Timing{
+		BaseInstr:         1,
+		BranchBase:        88,
+		MispredictPenalty: 54,
+		BTBMissPenalty:    18,
+		TSCOverhead:       24,
+		JitterSigma:       2.5,
+		SpikeProb:         0.13,
+		SpikeMax:          260,
+		ICacheMissMin:     28,
+		ICacheMissMax:     230,
+	}
+}
+
+// ICacheLines is the capacity of the per-core instruction cache model in
+// 64-byte lines (32 KiB L1I).
+const ICacheLines = 512
+
+type icacheEntry struct {
+	valid  bool
+	domain uint64
+	line   uint64
+}
+
+// Core is one simulated physical core: a cycle clock, a branch prediction
+// unit shared by its hardware contexts, and an instruction cache. Cores
+// are not safe for concurrent use; the scheduler serializes contexts.
+type Core struct {
+	bpuUnit *bpu.Unit
+	timing  Timing
+	clock   uint64
+	icache  [ICacheLines]icacheEntry
+	rnd     *rng.Source
+}
+
+// NewCore builds a core around a BPU configuration.
+func NewCore(cfg bpu.Config, timing Timing, seed uint64) *Core {
+	return &Core{
+		bpuUnit: bpu.New(cfg),
+		timing:  timing,
+		rnd:     rng.New(seed),
+	}
+}
+
+// BPU exposes the core's branch prediction unit for white-box tests and
+// mitigation configuration (MarkSensitive). Attack code must not use it.
+func (c *Core) BPU() *bpu.Unit { return c.bpuUnit }
+
+// Timing returns the core's timing parameters.
+func (c *Core) Timing() Timing { return c.timing }
+
+// Clock returns the current cycle count.
+func (c *Core) Clock() uint64 { return c.clock }
+
+// icacheAccess models one instruction fetch: returns the extra cycles
+// charged (zero on a hit).
+func (c *Core) icacheAccess(domain, addr uint64) uint64 {
+	line := addr >> 6
+	e := &c.icache[line%ICacheLines]
+	if e.valid && e.domain == domain && e.line == line {
+		return 0
+	}
+	*e = icacheEntry{valid: true, domain: domain, line: line}
+	span := c.timing.ICacheMissMax - c.timing.ICacheMissMin
+	if span == 0 {
+		return c.timing.ICacheMissMin
+	}
+	return c.timing.ICacheMissMin + c.rnd.Uint64n(span+1)
+}
+
+// jitter draws the ambient timing noise for one instruction.
+func (c *Core) jitter() uint64 {
+	n := c.rnd.NormFloat64() * c.timing.JitterSigma
+	if n < 0 {
+		n = -n
+	}
+	j := uint64(n)
+	if c.rnd.Chance(c.timing.SpikeProb) {
+		j += c.rnd.Uint64n(c.timing.SpikeMax + 1)
+	}
+	return j
+}
+
+// Snapshot captures the full microarchitectural state of the core for the
+// checkpoint/replay harness (deterministic re-execution memoization).
+type Snapshot struct {
+	bpu    *bpu.Snapshot
+	clock  uint64
+	icache [ICacheLines]icacheEntry
+	rnd    rng.Source
+}
+
+// Snapshot returns a deep copy of core state.
+func (c *Core) Snapshot() *Snapshot {
+	return &Snapshot{
+		bpu:    c.bpuUnit.Snapshot(),
+		clock:  c.clock,
+		icache: c.icache,
+		rnd:    *c.rnd,
+	}
+}
+
+// Restore reinstates a snapshot taken from this core.
+func (c *Core) Restore(s *Snapshot) {
+	c.bpuUnit.Restore(s.bpu)
+	c.clock = s.clock
+	c.icache = s.icache
+	*c.rnd = s.rnd
+}
+
+// Hook observes retired operations on a context; the scheduler uses it to
+// enforce instruction and branch quanta. It may block (that is how a
+// context is descheduled).
+type Hook func(isBranch bool)
+
+// Context is one hardware thread of a core: the architectural interface
+// programs execute against. Two contexts of the same core share its BPU,
+// icache and clock (SMT), but have private performance counters.
+type Context struct {
+	core   *Core
+	domain uint64
+	pmc    [numEvents]uint64
+	hook   Hook
+}
+
+// NewContext creates a hardware context on the core for the given
+// security domain (process). Domains separate icache lines and are the
+// key for the per-domain BPU mitigations; co-resident attacker and victim
+// processes have different domains yet share the BPU — the paper's threat
+// model.
+func (c *Core) NewContext(domain uint64) *Context {
+	return &Context{core: c, domain: domain}
+}
+
+// Domain returns the context's security domain identifier.
+func (x *Context) Domain() uint64 { return x.domain }
+
+// Core returns the core this context belongs to.
+func (x *Context) Core() *Core { return x.core }
+
+// SetHook installs the scheduler callback invoked after every retired
+// operation.
+func (x *Context) SetHook(h Hook) { x.hook = h }
+
+// Hook returns the currently installed retire hook (nil if none). Tools
+// that observe execution (internal/trace) use it to compose with the
+// scheduler's hook rather than replace it.
+func (x *Context) Hook() Hook { return x.hook }
+
+func (x *Context) retire(isBranch bool) {
+	if x.hook != nil {
+		x.hook(isBranch)
+	}
+}
+
+// Branch executes one conditional branch instruction at addr with the
+// given actual direction. The fall-through target convention is
+// addr+targetStride for taken branches; use BranchTo when the target
+// matters (BTB experiments).
+func (x *Context) Branch(addr uint64, taken bool) {
+	x.BranchTo(addr, taken, addr+16)
+}
+
+// BranchTo executes one conditional branch with an explicit taken-target.
+func (x *Context) BranchTo(addr uint64, taken bool, target uint64) {
+	c := x.core
+	cost := c.timing.BranchBase
+	cost += c.icacheAccess(x.domain, addr)
+	l := c.bpuUnit.Predict(x.domain, addr)
+	if l.Taken != taken {
+		cost += c.timing.MispredictPenalty
+		x.pmc[BranchMisses]++
+	}
+	if taken && !l.BTBHit {
+		cost += c.timing.BTBMissPenalty
+	}
+	cost += c.jitter()
+	if c.bpuUnit.Commit(l, taken, target) {
+		x.pmc[BranchAllocations]++
+	}
+	c.clock += cost
+	x.pmc[Instructions]++
+	x.pmc[BranchInstructions]++
+	x.retire(true)
+}
+
+// Nop executes one non-branch instruction at addr (the address matters:
+// it occupies icache space and, in attacker blocks, shifts subsequent
+// branch addresses — the Listing 1 randomization trick).
+func (x *Context) Nop(addr uint64) {
+	c := x.core
+	cost := c.timing.BaseInstr + c.icacheAccess(x.domain, addr)
+	c.clock += cost
+	x.pmc[Instructions]++
+	x.retire(false)
+}
+
+// Work executes n generic non-branch instructions that are not
+// cache-modelled (arithmetic on warm code); it advances time and the
+// instruction counter.
+func (x *Context) Work(n uint64) {
+	c := x.core
+	for i := uint64(0); i < n; i++ {
+		c.clock += c.timing.BaseInstr
+		x.pmc[Instructions]++
+		x.retire(false)
+	}
+}
+
+// ReadTSC reads the timestamp counter (rdtscp): it returns the core cycle
+// clock and charges the serialization overhead.
+func (x *Context) ReadTSC() uint64 {
+	x.core.clock += x.core.timing.TSCOverhead
+	x.pmc[Instructions]++
+	t := x.core.clock
+	x.retire(false)
+	return t
+}
+
+// ReadPMC reads a performance counter of this context. Counter reads are
+// architecturally free in the model (the paper's attacker reads PMCs via
+// the perf subsystem outside the timed region).
+func (x *Context) ReadPMC(e Event) uint64 {
+	if e < 0 || e >= numEvents {
+		panic(fmt.Sprintf("cpu: invalid PMC event %d", int(e)))
+	}
+	return x.pmc[e]
+}

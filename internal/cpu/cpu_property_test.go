@@ -1,0 +1,143 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"branchscope/internal/bpu"
+	"branchscope/internal/fsm"
+)
+
+// Property tests over random operation sequences: the architectural
+// invariants any hardware context must uphold regardless of workload.
+
+// opSeq drives a context through a pseudo-random instruction mix derived
+// from a byte script, returning the context.
+func opSeq(core *Core, script []byte) *Context {
+	ctx := core.NewContext(1)
+	for i, b := range script {
+		addr := uint64(0x1000 + int(b)*33 + i)
+		switch b % 4 {
+		case 0:
+			ctx.Branch(addr, b&8 != 0)
+		case 1:
+			ctx.Nop(addr)
+		case 2:
+			ctx.Work(uint64(b % 5))
+		case 3:
+			ctx.ReadTSC()
+		}
+	}
+	return ctx
+}
+
+func propCore(seed uint64) *Core {
+	return NewCore(bpu.Config{
+		FSM:          fsm.SkylakeAsym(),
+		PHTSize:      512,
+		SelectorSize: 128,
+		GHRBits:      12,
+		TagEntries:   128,
+		BTBEntries:   128,
+		Mode:         bpu.Hybrid,
+	}, DefaultTiming(), seed)
+}
+
+// Property: the cycle clock never decreases and every retired instruction
+// advances the instruction counter by exactly one (Work(n) by n).
+func TestQuickClockMonotonicCountersExact(t *testing.T) {
+	f := func(seed uint64, script []byte) bool {
+		core := propCore(seed)
+		ctx := core.NewContext(1)
+		prevClock := core.Clock()
+		var wantInstr uint64
+		for i, b := range script {
+			addr := uint64(0x1000 + int(b)*33 + i)
+			switch b % 4 {
+			case 0:
+				ctx.Branch(addr, b&8 != 0)
+				wantInstr++
+			case 1:
+				ctx.Nop(addr)
+				wantInstr++
+			case 2:
+				n := uint64(b % 5)
+				ctx.Work(n)
+				wantInstr += n
+			case 3:
+				ctx.ReadTSC()
+				wantInstr++
+			}
+			if core.Clock() < prevClock {
+				return false
+			}
+			prevClock = core.Clock()
+		}
+		return ctx.ReadPMC(Instructions) == wantInstr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: misses never exceed branches, allocations never exceed
+// branches, and all PMCs are monotone.
+func TestQuickPMCConsistency(t *testing.T) {
+	f := func(seed uint64, script []byte) bool {
+		ctx := opSeq(propCore(seed), script)
+		branches := ctx.ReadPMC(BranchInstructions)
+		misses := ctx.ReadPMC(BranchMisses)
+		allocs := ctx.ReadPMC(BranchAllocations)
+		return misses <= branches && allocs <= branches &&
+			branches <= ctx.ReadPMC(Instructions)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot/restore is transparent — replaying the same script
+// after a restore reproduces identical TSC readings.
+func TestQuickSnapshotReplayIdentical(t *testing.T) {
+	f := func(seed uint64, warm, script []byte) bool {
+		core := propCore(seed)
+		opSeq(core, warm)
+		snap := core.Snapshot()
+		a := opSeq(core, script).ReadTSC()
+		core.Restore(snap)
+		b := opSeq(core, script).ReadTSC()
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two cores built from the same seed behave identically under
+// the same script (full determinism).
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint64, script []byte) bool {
+		a := opSeq(propCore(seed), script)
+		b := opSeq(propCore(seed), script)
+		return a.ReadPMC(BranchMisses) == b.ReadPMC(BranchMisses) &&
+			a.Core().Clock() == b.Core().Clock()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the TSC is strictly increasing across reads (rdtscp has a
+// positive cost), so timing deltas are always positive.
+func TestQuickTSCStrictlyIncreasing(t *testing.T) {
+	f := func(seed uint64, script []byte) bool {
+		core := propCore(seed)
+		ctx := opSeq(core, script)
+		t1 := ctx.ReadTSC()
+		t2 := ctx.ReadTSC()
+		return t2 > t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

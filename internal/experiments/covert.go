@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+
+	"branchscope/internal/core"
+	"branchscope/internal/cpu"
+	"branchscope/internal/noise"
+	"branchscope/internal/rng"
+	"branchscope/internal/sched"
+	"branchscope/internal/sgx"
+	"branchscope/internal/stats"
+	"branchscope/internal/uarch"
+	"branchscope/internal/victims"
+)
+
+// Setting is the paper's system-noise configuration (§7).
+type Setting int
+
+const (
+	// Isolated pins the benchmark to an isolated physical core with
+	// only residual kernel activity.
+	Isolated Setting = iota
+	// Noisy places no scheduling restrictions: other system activity
+	// shares the core's second hardware context.
+	Noisy
+)
+
+// String implements fmt.Stringer.
+func (s Setting) String() string {
+	if s == Isolated {
+		return "isolated"
+	}
+	return "with noise"
+}
+
+// BitPattern selects the transmitted secret of the covert benchmark.
+type BitPattern int
+
+const (
+	// AllZeros transmits only 0 (not-taken) bits.
+	AllZeros BitPattern = iota
+	// AllOnes transmits only 1 (taken) bits.
+	AllOnes
+	// RandomBits transmits uniformly random bits.
+	RandomBits
+)
+
+// String implements fmt.Stringer using the paper's column labels.
+func (p BitPattern) String() string {
+	switch p {
+	case AllZeros:
+		return "All 0"
+	case AllOnes:
+		return "All 1"
+	default:
+		return "Random"
+	}
+}
+
+// Bits materializes n bits of the pattern.
+func (p BitPattern) Bits(n int, r *rng.Source) []bool {
+	bits := make([]bool, n)
+	switch p {
+	case AllOnes:
+		for i := range bits {
+			bits[i] = true
+		}
+	case RandomBits:
+		for i := range bits {
+			bits[i] = r.Bool()
+		}
+	}
+	return bits
+}
+
+// CovertConfig parameterizes one covert-channel measurement cell.
+type CovertConfig struct {
+	// Model is the simulated CPU.
+	Model uarch.Model
+	// Setting selects isolated vs noisy.
+	Setting Setting
+	// Pattern selects the transmitted bits.
+	Pattern BitPattern
+	// Bits per run (the paper transmits 1e6; tests scale down).
+	Bits int
+	// Runs to average over (the paper uses 10).
+	Runs int
+	// SGX places the sender inside an enclave with the OS assisting the
+	// spy (Table 3): background noise is suppressed by the malicious OS
+	// — entirely in the isolated case, partially in the noisy one.
+	SGX bool
+	// UseTiming switches the spy from PMC probing to rdtscp probing.
+	UseTiming bool
+	// Prepare, when non-nil, runs against each fresh system before the
+	// attack starts (mitigation studies configure the BPU here).
+	Prepare func(*sched.System)
+	// SpyHook, when non-nil, receives the spy's hardware context right
+	// after creation (tracing and detection harnesses attach here).
+	SpyHook func(*cpu.Context)
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// CovertResult is one cell of Table 2 / Table 3.
+type CovertResult struct {
+	Config    CovertConfig
+	ErrorRate float64   // mean over runs
+	PerRun    []float64 // individual run error rates
+	// SetupFailed counts runs in which the pre-attack block search
+	// found no usable randomization block (the channel could not even
+	// be established — mitigations cause this). Such runs contribute an
+	// error rate of 0.5 (guessing).
+	SetupFailed int
+}
+
+// String implements fmt.Stringer.
+func (r CovertResult) String() string {
+	return fmt.Sprintf("%s %s %s: %s", r.Config.Model.Name, r.Config.Setting,
+		r.Config.Pattern, stats.Percent(r.ErrorRate))
+}
+
+// noiseBudget returns the per-episode background instruction count for
+// the configuration.
+func noiseBudget(cfg CovertConfig) int {
+	m := cfg.Model
+	switch {
+	case cfg.SGX && cfg.Setting == Isolated:
+		// The malicious OS stops everything else.
+		return 0
+	case cfg.SGX:
+		// The OS cannot fully suppress its own housekeeping.
+		return m.NoiseIsolatedBranches / 2
+	case cfg.Setting == Isolated:
+		return m.NoiseIsolatedBranches
+	default:
+		return m.NoiseNoisyBranches
+	}
+}
+
+// RunCovert measures the covert-channel error rate for one configuration
+// (one cell of Table 2/3). Each run boots a fresh system, spawns the
+// sender (a Listing 2 secret-array victim, optionally inside an SGX
+// enclave), performs the pre-attack block search, and transmits
+// cfg.Bits bits with prime–step–probe episodes, interleaving background
+// noise per the setting.
+func RunCovert(cfg CovertConfig) CovertResult {
+	if cfg.Bits <= 0 {
+		cfg.Bits = 1000
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	root := rng.New(cfg.Seed ^ 0xc0de)
+	res := CovertResult{Config: cfg}
+	for run := 0; run < cfg.Runs; run++ {
+		res.PerRun = append(res.PerRun, runCovertOnce(cfg, root.Split(), &res))
+	}
+	res.ErrorRate = stats.Mean(res.PerRun)
+	return res
+}
+
+func runCovertOnce(cfg CovertConfig, r *rng.Source, res *CovertResult) float64 {
+	sys := sched.NewSystem(cfg.Model, r.Uint64())
+	if cfg.Prepare != nil {
+		cfg.Prepare(sys)
+	}
+	secret := cfg.Pattern.Bits(cfg.Bits, r)
+
+	// The sender.
+	var victim core.Stepper
+	senderFn := victims.LoopingSecretArraySender(secret, 0)
+	if cfg.SGX {
+		e := sgx.Launch(sys, "sender", senderFn)
+		defer e.Destroy()
+		victim = e
+	} else {
+		th := sys.Spawn("sender", senderFn)
+		defer th.Kill()
+		victim = th
+	}
+
+	// Background noise on the sibling hardware context.
+	budget := noiseBudget(cfg)
+	var noiseThread *sched.Thread
+	if budget > 0 {
+		noiseThread = sys.Spawn("noise", noise.Process(r.Uint64(), noise.DefaultRegion, 1<<22))
+		defer noiseThread.Kill()
+	}
+	stepNoise := func(n int) func() {
+		if noiseThread == nil || n <= 0 {
+			return nil
+		}
+		return func() { noiseThread.Step(n) }
+	}
+
+	spy := sys.NewProcess("spy")
+	if cfg.SpyHook != nil {
+		cfg.SpyHook(spy)
+	}
+	sess, err := core.NewSession(spy, r.Split(), core.AttackConfig{
+		Search:    core.SearchConfig{TargetAddr: victims.SecretBranchAddr, Focused: true},
+		UseTiming: cfg.UseTiming,
+	})
+	if err != nil {
+		// The channel could not be established: the attacker is
+		// reduced to guessing.
+		res.SetupFailed++
+		return 0.5
+	}
+
+	got := make([]bool, len(secret))
+	before, after := stepNoise(budget/2), stepNoise(budget-budget/2)
+	for i := range secret {
+		got[i] = sess.SpyBit(victim, before, after)
+	}
+	return stats.ErrorRate(got, secret)
+}

@@ -1,0 +1,545 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"branchscope/internal/bpu"
+	"branchscope/internal/core"
+	"branchscope/internal/uarch"
+)
+
+func TestFig2Shape(t *testing.T) {
+	cfg := QuickFig2Config()
+	cfg.Seed = 2
+	r := RunFig2(cfg)
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(r.Series))
+	}
+	for _, s := range r.Series {
+		// First iteration: near-random (the paper sees ~5/10 misses).
+		if s.MeanMisses[0] < 3.5 {
+			t.Errorf("%s: first iteration misses %.2f, expected near 5", s.Model, s.MeanMisses[0])
+		}
+		// Learned by iterations 5-7 per the paper; allow 4-8 in the model.
+		h := s.LearningHorizon()
+		if h < 4 || h > 8 {
+			t.Errorf("%s: learning horizon %d, want 4..8 (paper: 5-7)", s.Model, h)
+		}
+		// Late iterations: essentially perfect.
+		for i := 12; i < len(s.MeanMisses); i++ {
+			if s.MeanMisses[i] > 0.3 {
+				t.Errorf("%s: iteration %d still misses %.2f", s.Model, i+1, s.MeanMisses[i])
+			}
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 2") {
+		t.Error("String missing header")
+	}
+}
+
+func TestTable1AllModelsMatchPaper(t *testing.T) {
+	for _, m := range uarch.All() {
+		res := RunTable1(m, 7)
+		if !res.MatchesPaper() {
+			t.Errorf("%s does not match the paper:\n%s", m.Name, res)
+		}
+	}
+}
+
+func TestTable1SkylakeFootnote(t *testing.T) {
+	// The TTT/N/NN row is the Skylake peculiarity: MM there, MH on the
+	// textbook parts.
+	sl := RunTable1(uarch.Skylake(), 1)
+	hw := RunTable1(uarch.Haswell(), 1)
+	if sl.Rows[3].Observation != core.PatternMM {
+		t.Errorf("Skylake TTT/N/NN = %s, want MM", sl.Rows[3].Observation)
+	}
+	if hw.Rows[3].Observation != core.PatternMH {
+		t.Errorf("Haswell TTT/N/NN = %s, want MH", hw.Rows[3].Observation)
+	}
+}
+
+func TestFig4Distribution(t *testing.T) {
+	cfg := QuickFig4Config()
+	cfg.Seed = 3
+	r := RunFig4(cfg)
+	if r.StableShare < 0.55 || r.StableShare > 0.99 {
+		t.Errorf("stable share %.2f outside plausible band (paper: 0.83)", r.StableShare)
+	}
+	strong := r.Distribution[core.StateST] + r.Distribution[core.StateSN]
+	weak := r.Distribution[core.StateWT] + r.Distribution[core.StateWN]
+	if strong <= weak {
+		t.Errorf("strong states (%.2f) not dominant over weak (%.2f)", strong, weak)
+	}
+	if r.Distribution[core.StateUnknown] == 0 {
+		t.Error("no unknown blocks at all; system noise not reflected")
+	}
+	if len(r.Points) != cfg.Blocks {
+		t.Errorf("points = %d, want %d", len(r.Points), cfg.Blocks)
+	}
+}
+
+func TestFig5DiscoversTrueSize(t *testing.T) {
+	cfg := QuickFig5Config()
+	cfg.Seed = 5
+	r := RunFig5(cfg)
+	if r.DiscoveredSize != r.TrueSize {
+		t.Errorf("discovered %d, true %d", r.DiscoveredSize, r.TrueSize)
+	}
+	// The ratio at the true size must be far below the off-period
+	// ratios (Figure 5b's sharp minimum).
+	var atSize, offSize float64
+	offN := 0
+	for _, s := range r.Scan {
+		if s.Window == r.TrueSize {
+			atSize = s.Ratio
+		} else if s.Window%r.TrueSize != 0 {
+			offSize += s.Ratio
+			offN++
+		}
+	}
+	if offN == 0 || atSize > 0.2*(offSize/float64(offN)) {
+		t.Errorf("minimum not sharp: ratio %.3f at true size vs %.3f mean elsewhere",
+			atSize, offSize/float64(offN))
+	}
+}
+
+func TestFig6Demonstration(t *testing.T) {
+	r := RunFig6(Fig6Config{Seed: 6})
+	if len(r.Decoded) != len(r.Original) || len(r.Patterns) != len(r.Original) {
+		t.Fatal("transcript length mismatch")
+	}
+	if r.Errors > len(r.Original)/2 {
+		t.Errorf("demo errors %d/%d: channel not working", r.Errors, len(r.Original))
+	}
+	out := r.String()
+	for _, want := range []string{"Original", "Decoded", "Spy dictionary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q", want)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	cfg := QuickTable2Config()
+	cfg.Seed = 22
+	r := RunTable2(cfg)
+	if len(r.Cells) != 6 {
+		t.Fatalf("cells = %d, want 6 rows", len(r.Cells))
+	}
+	byKey := map[string]Table2Row{}
+	for _, row := range r.Cells {
+		byKey[row.Model+"/"+row.Setting.String()] = row
+		for _, rate := range row.Rates {
+			if rate > 0.12 {
+				t.Errorf("%s %s: error %.2f%% implausibly high", row.Model, row.Setting, 100*rate)
+			}
+		}
+	}
+	// Ordering: Sandy Bridge worse than Skylake and Haswell (smaller
+	// predictor tables, §7), noisy worse than isolated per model.
+	mean := func(r Table2Row) float64 { return (r.Rates[0] + r.Rates[1] + r.Rates[2]) / 3 }
+	if mean(byKey["SandyBridge/with noise"]) <= mean(byKey["Skylake/with noise"]) {
+		t.Error("SandyBridge not worse than Skylake in the noisy setting")
+	}
+	if mean(byKey["SandyBridge/with noise"]) <= mean(byKey["Haswell/with noise"]) {
+		t.Error("SandyBridge not worse than Haswell in the noisy setting")
+	}
+	for _, m := range []string{"Skylake", "Haswell", "SandyBridge"} {
+		if mean(byKey[m+"/with noise"]) < mean(byKey[m+"/isolated"]) {
+			t.Errorf("%s: noisy better than isolated", m)
+		}
+	}
+}
+
+func TestFig7Separation(t *testing.T) {
+	cfg := QuickFig7Config()
+	cfg.Seed = 77
+	r := RunFig7(cfg)
+	for _, taken := range []bool{false, true} {
+		hit := r.Case(taken, false).Summary.Mean
+		miss := r.Case(taken, true).Summary.Mean
+		delta := miss - hit
+		if delta < 40 || delta > 70 {
+			t.Errorf("taken=%v: miss-hit separation %.1f cycles, want ~54", taken, delta)
+		}
+	}
+}
+
+func TestFig8ErrorShrinksWithAveraging(t *testing.T) {
+	cfg := QuickFig8Config()
+	cfg.Seed = 88
+	r := RunFig8(cfg)
+	first := r.Points[0]
+	last := r.Points[len(r.Points)-1]
+	// The paper: 1st measurement 20-30% error, 2nd ~10%, both falling
+	// with averaging; 2nd approaches 0 around 10 measurements.
+	if first.ErrorFirst < 0.12 || first.ErrorFirst > 0.45 {
+		t.Errorf("single 1st-execution error %.2f outside the paper band", first.ErrorFirst)
+	}
+	if first.ErrorSecond < 0.02 || first.ErrorSecond > 0.2 {
+		t.Errorf("single 2nd-execution error %.2f outside the paper band", first.ErrorSecond)
+	}
+	if first.ErrorSecond >= first.ErrorFirst {
+		t.Error("2nd execution not more reliable than 1st")
+	}
+	if last.ErrorSecond > 0.03 {
+		t.Errorf("2nd-execution error %.2f did not approach 0 with averaging", last.ErrorSecond)
+	}
+	if last.ErrorFirst >= first.ErrorFirst {
+		t.Error("1st-execution error did not shrink with averaging")
+	}
+}
+
+func TestFig9StatesDistinguishable(t *testing.T) {
+	cfg := QuickFig9Config()
+	cfg.Seed = 99
+	r := RunFig9(cfg)
+	if len(r.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(r.Cells))
+	}
+	// Second-measurement means must separate by expected pattern: MM
+	// cells slowest, HH fastest, MH in between (its second execution is
+	// a hit but the first miss perturbs only measurement 1).
+	for _, c := range r.Cells {
+		switch c.Expected {
+		case core.PatternMM:
+			if c.Second.Mean < 160 {
+				t.Errorf("%v probe=%v: MM second mean %.1f too low", c.State, c.ProbeTaken, c.Second.Mean)
+			}
+		case core.PatternHH:
+			if c.Second.Mean > 155 {
+				t.Errorf("%v probe=%v: HH second mean %.1f too high", c.State, c.ProbeTaken, c.Second.Mean)
+			}
+		}
+	}
+}
+
+func TestTable3SGXBeatsUserSpace(t *testing.T) {
+	t3 := RunTable3(Table3Config{Bits: 1500, Runs: 2, Seed: 33})
+	if len(t3.Rows) != 2 {
+		t.Fatalf("rows = %d", len(t3.Rows))
+	}
+	var iso, noisy Table2Row
+	for _, row := range t3.Rows {
+		if row.Setting == Isolated {
+			iso = row
+		} else {
+			noisy = row
+		}
+	}
+	// SGX isolated: the OS suppresses all noise; error must be tiny.
+	for _, rate := range iso.Rates {
+		if rate > 0.01 {
+			t.Errorf("SGX isolated error %.3f%% too high", 100*rate)
+		}
+	}
+	// And not worse than the noisy SGX setting on average.
+	mi := (iso.Rates[0] + iso.Rates[1] + iso.Rates[2]) / 3
+	mn := (noisy.Rates[0] + noisy.Rates[1] + noisy.Rates[2]) / 3
+	if mi > mn {
+		t.Errorf("SGX isolated (%.3f) worse than SGX noisy (%.3f)", mi, mn)
+	}
+}
+
+func TestMitigationsAblation(t *testing.T) {
+	cfg := QuickMitigationsConfig()
+	cfg.Seed = 10
+	r := RunMitigations(cfg)
+	rates := map[bpu.Mitigation]float64{}
+	for _, row := range r.Rows {
+		rates[row.Mitigation] = row.ErrorRate
+	}
+	if rates[bpu.MitigationNone] > 0.05 {
+		t.Errorf("unmitigated error %.2f%% too high", 100*rates[bpu.MitigationNone])
+	}
+	for _, m := range []bpu.Mitigation{bpu.MitigationRandomizedIndex,
+		bpu.MitigationPartitioned, bpu.MitigationNoPredictSensitive} {
+		if rates[m] < 0.35 {
+			t.Errorf("%v: error %.2f%%, defense did not close the channel", m, 100*rates[m])
+		}
+	}
+	// Stochastic updates degrade but do not fully close the channel.
+	if rates[bpu.MitigationStochasticFSM] < 0.05 || rates[bpu.MitigationStochasticFSM] > 0.45 {
+		t.Errorf("stochastic FSM error %.2f%% not intermediate", 100*rates[bpu.MitigationStochasticFSM])
+	}
+}
+
+func TestMontgomeryExperiment(t *testing.T) {
+	cfg := QuickMontgomeryConfig()
+	cfg.Seed = 11
+	r := RunMontgomery(cfg)
+	if r.Result.ErrorRate() > 0.02 {
+		t.Errorf("bit error rate %.2f%%", 100*r.Result.ErrorRate())
+	}
+	if r.Result.BitErrors == 0 && !r.Exact {
+		t.Error("no bit errors but not exact")
+	}
+}
+
+func TestJPEGExperiment(t *testing.T) {
+	cfg := QuickJPEGConfig()
+	cfg.Seed = 12
+	r := RunJPEG(cfg)
+	if r.Result.ErrorRate() > 0.05 {
+		t.Errorf("branch error rate %.2f%%", 100*r.Result.ErrorRate())
+	}
+}
+
+func TestASLRExperiment(t *testing.T) {
+	cfg := QuickASLRConfig()
+	cfg.Seed = 13
+	r := RunASLR(cfg)
+	if !r.Pinpointed {
+		t.Errorf("slide not pinpointed: %s", r.String())
+	}
+	if len(r.SingleBranch.Collisions) == 0 {
+		t.Error("single-branch scan found no collision class")
+	}
+}
+
+func TestBTBBaselineComparison(t *testing.T) {
+	cfg := QuickBTBBaselineConfig()
+	cfg.Seed = 14
+	r := RunBTBBaseline(cfg)
+	if r.BTBError <= r.BranchScope {
+		t.Errorf("BTB channel (%.2f%%) not worse than BranchScope (%.2f%%)",
+			100*r.BTBError, 100*r.BranchScope)
+	}
+	if r.BTBUnderFlush < 0.35 {
+		t.Errorf("BTB flush defense left BTB error at %.2f%%", 100*r.BTBUnderFlush)
+	}
+	if r.BranchScopeUnderBTB > 0.05 {
+		t.Errorf("BTB defense affected BranchScope: %.2f%%", 100*r.BranchScopeUnderBTB)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Artifact == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("fig2"); err != nil {
+		t.Errorf("ByID(fig2): %v", err)
+	}
+	if _, err := ByID("nonesuch"); err == nil {
+		t.Error("ByID accepted unknown experiment")
+	}
+	// A quick registry-driven run exercises the plumbing end to end.
+	e, _ := ByID("fig6")
+	if out := e.Run(true, 3).String(); !strings.Contains(out, "Figure 6") {
+		t.Error("registry run produced unexpected output")
+	}
+}
+
+func TestSettingAndPatternStrings(t *testing.T) {
+	if Isolated.String() == "" || Noisy.String() == "" {
+		t.Error("empty Setting string")
+	}
+	for _, p := range []BitPattern{AllZeros, AllOnes, RandomBits} {
+		if p.String() == "" {
+			t.Error("empty BitPattern string")
+		}
+	}
+}
+
+func TestBitPatternBits(t *testing.T) {
+	r := RunFig2 // silence unused in some builds
+	_ = r
+	ones := AllOnes.Bits(5, nil)
+	for _, b := range ones {
+		if !b {
+			t.Error("AllOnes produced a zero")
+		}
+	}
+	zeros := AllZeros.Bits(5, nil)
+	for _, b := range zeros {
+		if b {
+			t.Error("AllZeros produced a one")
+		}
+	}
+}
+
+func TestIfConversionClosesChannel(t *testing.T) {
+	cfg := QuickIfConversionConfig()
+	cfg.Seed = 20
+	r := RunIfConversion(cfg)
+	if r.BranchyError > 0.02 {
+		t.Errorf("baseline ladder recovery error %.2f%%", 100*r.BranchyError)
+	}
+	if r.BranchlessError < 0.3 {
+		t.Errorf("if-converted ladder still leaks: %.2f%% error", 100*r.BranchlessError)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPoisoningForcesMispredictions(t *testing.T) {
+	cfg := QuickPoisoningConfig()
+	cfg.Seed = 21
+	r := RunPoisoning(cfg)
+	if r.BaselineMissRate > 0.05 {
+		t.Errorf("baseline miss rate %.2f%%", 100*r.BaselineMissRate)
+	}
+	if r.PoisonedMissRate < 0.9 {
+		t.Errorf("poisoning achieved only %.2f%% miss rate", 100*r.PoisonedMissRate)
+	}
+	if r.AlignedMissRate > 0.05 {
+		t.Errorf("aligned poisoning caused %.2f%% misses", 100*r.AlignedMissRate)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestDetectionSeparatesAttackerFromBenign(t *testing.T) {
+	cfg := QuickDetectionConfig()
+	cfg.Seed = 22
+	r := RunDetection(cfg)
+	byName := map[string]DetectionRow{}
+	for _, row := range r.Rows {
+		byName[row.Workload] = row
+	}
+	if !byName["BranchScope spy"].Detected {
+		t.Error("attacker not detected")
+	}
+	if byName["modexp service (benign)"].Detected {
+		t.Error("benign modexp flagged")
+	}
+	if byName["jpeg decoder (benign)"].Detected {
+		t.Error("benign decoder flagged")
+	}
+	if !byName["dense random branches (false positive)"].Detected {
+		t.Error("documented false-positive case unexpectedly clean")
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSlidingWindowRecovery(t *testing.T) {
+	cfg := QuickSlidingWindowConfig()
+	cfg.Seed = 23
+	r := RunSlidingWindow(cfg)
+	if r.Result.KnownFraction() < 0.4 {
+		t.Errorf("only %.1f%% of key bits pinned", 100*r.Result.KnownFraction())
+	}
+	if r.Result.KnownBits > 0 && float64(r.Result.WrongBits)/float64(r.Result.KnownBits) > 0.05 {
+		t.Errorf("%d/%d pinned bits wrong", r.Result.WrongBits, r.Result.KnownBits)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSMTChannel(t *testing.T) {
+	cfg := QuickSMTConfig()
+	cfg.Seed = 24
+	r := RunSMT(cfg)
+	if r.ErrorRate > 0.05 {
+		t.Errorf("cross-hyperthread error rate %.2f%%", 100*r.ErrorRate)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSMTChannelDegradesWithJitter(t *testing.T) {
+	// With wild scheduling jitter the coarse channel must degrade but
+	// not die (majority voting absorbs most slips).
+	low := RunSMT(SMTConfig{Bits: 500, SliceJitter: 1, Seed: 25})
+	high := RunSMT(SMTConfig{Bits: 500, SliceJitter: 6, Seed: 25})
+	if high.ErrorRate < low.ErrorRate {
+		t.Logf("note: jitter 6 (%.2f%%) not worse than jitter 1 (%.2f%%) at this seed",
+			100*high.ErrorRate, 100*low.ErrorRate)
+	}
+	if high.ErrorRate > 0.30 {
+		t.Errorf("channel collapsed at jitter 6: %.2f%%", 100*high.ErrorRate)
+	}
+}
+
+func TestScorecardAllClaimsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scorecard runs the full quick suite")
+	}
+	sc := Validate(1)
+	if !sc.AllPassed() {
+		t.Errorf("reproduction scorecard failed:\n%s", sc)
+	}
+	if sc.String() == "" || sc.Passed() == 0 {
+		t.Error("degenerate scorecard")
+	}
+}
+
+func TestPredictorAblation(t *testing.T) {
+	cfg := QuickPredictorAblationConfig()
+	cfg.Seed = 26
+	r := RunPredictorAblation(cfg)
+	rates := map[bpu.Mode]float64{}
+	for _, row := range r.Rows {
+		rates[row.Mode] = row.ErrorRate
+	}
+	if rates[bpu.BimodalOnly] > 0.02 {
+		t.Errorf("pure bimodal error %.2f%%: should be the easiest target", 100*rates[bpu.BimodalOnly])
+	}
+	if rates[bpu.Hybrid] > 0.05 {
+		t.Errorf("hybrid error %.2f%%: forcing 1-level mode failed", 100*rates[bpu.Hybrid])
+	}
+	if rates[bpu.GshareOnly] < 0.35 {
+		t.Errorf("pure gshare error %.2f%%: PC-indexed collisions should not exist", 100*rates[bpu.GshareOnly])
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestTimingChannelComparison(t *testing.T) {
+	cfg := QuickTimingChannelConfig()
+	cfg.Seed = 27
+	r := RunTimingChannel(cfg)
+	if r.PMCError > 0.03 {
+		t.Errorf("PMC channel error %.2f%%", 100*r.PMCError)
+	}
+	// Timing-only probing is noisier than the PMC but far better than
+	// guessing — consistent with Fig 8's single-shot ~10%.
+	if r.TSCError <= r.PMCError {
+		t.Errorf("timing (%.2f%%) not noisier than PMC (%.2f%%)", 100*r.TSCError, 100*r.PMCError)
+	}
+	if r.TSCError > 0.25 {
+		t.Errorf("timing channel error %.2f%%: broken", 100*r.TSCError)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFSMWidthAblation(t *testing.T) {
+	cfg := QuickFSMWidthConfig()
+	cfg.Seed = 28
+	r := RunFSMWidth(cfg)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.SearchCandidates < 0 {
+			t.Errorf("width %d: search failed entirely", row.Width)
+			continue
+		}
+		// The headline: no counter width closes the channel once the
+		// attacker self-verifies its prime (§6.1 mimicry).
+		if row.ErrorRate > 0.05 {
+			t.Errorf("width %d: error %.2f%%", row.Width, 100*row.ErrorRate)
+		}
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}

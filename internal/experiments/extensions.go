@@ -1,0 +1,516 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"branchscope/internal/attacks"
+	"branchscope/internal/bpu"
+	"branchscope/internal/core"
+	"branchscope/internal/cpu"
+	"branchscope/internal/detect"
+	"branchscope/internal/rng"
+	"branchscope/internal/sched"
+	"branchscope/internal/stats"
+	"branchscope/internal/uarch"
+	"branchscope/internal/victims"
+)
+
+// This file holds the extension experiments that go beyond the paper's
+// measured artifacts but implement ideas the paper raises: the §10.1
+// if-conversion software mitigation, the §1 branch-poisoning primitive,
+// and the §10.2 attack-footprint detector.
+
+// IfConversionConfig parameterizes the software-mitigation study: the
+// Montgomery exponent-recovery attack is run against the normal ladder
+// and against the if-converted (cswap/cmov) ladder.
+type IfConversionConfig struct {
+	ExponentBits int
+	Model        uarch.Model
+	Seed         uint64
+}
+
+func (c IfConversionConfig) withDefaults() IfConversionConfig {
+	if c.ExponentBits == 0 {
+		c.ExponentBits = 256
+	}
+	if c.Model.Name == "" {
+		c.Model = uarch.Skylake()
+	}
+	return c
+}
+
+// QuickIfConversionConfig returns a test-scale configuration.
+func QuickIfConversionConfig() IfConversionConfig {
+	return IfConversionConfig{ExponentBits: 96}
+}
+
+// IfConversionResult compares recovery error against both ladders.
+type IfConversionResult struct {
+	Config IfConversionConfig
+	// BranchyError is the bit recovery error against the normal ladder;
+	// BranchlessError against the if-converted one (0.5 = no signal).
+	BranchyError    float64
+	BranchlessError float64
+}
+
+// RunIfConversion regenerates the software-mitigation study.
+func RunIfConversion(cfg IfConversionConfig) IfConversionResult {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed + 16)
+	exp := new(big.Int).SetBit(big.NewInt(0), cfg.ExponentBits-1, 1)
+	for i := 0; i < cfg.ExponentBits-1; i++ {
+		if r.Bool() {
+			exp.SetBit(exp, i, 1)
+		}
+	}
+	truth := victims.ExponentBits(exp)
+	base := big.NewInt(0x10001)
+	modulus := new(big.Int).Lsh(big.NewInt(1), 127)
+	modulus.Sub(modulus, big.NewInt(1))
+
+	res := IfConversionResult{Config: cfg}
+
+	// Against the normal ladder: the standard attack.
+	{
+		sys := sched.NewSystem(cfg.Model, r.Uint64())
+		mres, err := attacks.RecoverMontgomeryExponent(sys, exp, 1, r.Uint64())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: if-conversion baseline setup failed: %v", err))
+		}
+		res.BranchyError = mres.ErrorRate()
+	}
+
+	// Against the if-converted ladder: the victim executes no
+	// conditional branches, so the attacker cannot even step it by
+	// branches; it falls back to stepping by the instruction budget of
+	// one ladder iteration and probing as usual. Every probe sees only
+	// its own primed state.
+	{
+		sys := sched.NewSystem(cfg.Model, r.Uint64())
+		victim := sys.Spawn("ladder-ifconv",
+			victims.BranchlessMontgomeryProcess(base, exp, modulus, nil))
+		defer victim.Kill()
+		spy := sys.NewProcess("spy")
+		sess, err := core.NewSession(spy, r.Split(), core.AttackConfig{
+			Search: core.SearchConfig{TargetAddr: victims.LadderBranchAddr, Focused: true},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: if-conversion attack setup failed: %v", err))
+		}
+		const iterationInstructions = 810 // ~2*mulModCost + cswap overhead
+		got := make([]bool, len(truth))
+		for i := range truth {
+			sess.Prime()
+			victim.Step(iterationInstructions)
+			got[i] = core.DecodeBit(sess.Probe())
+		}
+		res.BranchlessError = stats.ErrorRate(got, truth)
+	}
+	return res
+}
+
+// String implements fmt.Stringer.
+func (r IfConversionResult) String() string {
+	return fmt.Sprintf(
+		"Software mitigation (§10.1 if-conversion), %d-bit exponent, %s:\n"+
+			"  normal Montgomery ladder     %8s bit recovery error\n"+
+			"  if-converted (cswap) ladder  %8s bit recovery error (0.5 = no leak)\n",
+		r.Config.ExponentBits, r.Config.Model.Name,
+		stats.Percent(r.BranchyError), stats.Percent(r.BranchlessError))
+}
+
+// PoisoningConfig parameterizes the branch-poisoning study (§1): the
+// attacker forces a victim's well-predicted branch to mispredict on
+// demand — the directional-predictor half of a Spectre-style setup.
+type PoisoningConfig struct {
+	Rounds int
+	Model  uarch.Model
+	Seed   uint64
+}
+
+func (c PoisoningConfig) withDefaults() PoisoningConfig {
+	if c.Rounds == 0 {
+		c.Rounds = 400
+	}
+	if c.Model.Name == "" {
+		c.Model = uarch.Skylake()
+	}
+	return c
+}
+
+// QuickPoisoningConfig returns a test-scale configuration.
+func QuickPoisoningConfig() PoisoningConfig { return PoisoningConfig{Rounds: 120} }
+
+// PoisoningResult reports victim misprediction rates.
+type PoisoningResult struct {
+	Config PoisoningConfig
+	// BaselineMissRate is the victim's branch misprediction rate left
+	// alone; PoisonedMissRate with the attacker priming against it, and
+	// AlignedMissRate with the attacker priming along it.
+	BaselineMissRate float64
+	PoisonedMissRate float64
+	AlignedMissRate  float64
+}
+
+// RunPoisoning regenerates the poisoning study.
+func RunPoisoning(cfg PoisoningConfig) PoisoningResult {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed + 17)
+	sys := sched.NewSystem(cfg.Model, r.Uint64())
+	const addr = 0x0047_1100
+	victim := sys.Spawn("victim", func(ctx *cpu.Context) {
+		for {
+			ctx.Work(4)
+			ctx.Branch(addr, true)
+		}
+	})
+	defer victim.Kill()
+	spy := sys.NewProcess("spy")
+	p, err := attacks.NewPoisoner(spy, r.Split(), addr)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: poisoner setup failed: %v", err))
+	}
+
+	rate := func(poison func()) float64 {
+		before := victim.Context().ReadPMC(cpu.BranchMisses)
+		for i := 0; i < cfg.Rounds; i++ {
+			if poison != nil {
+				poison()
+			}
+			victim.StepBranches(1)
+		}
+		return float64(victim.Context().ReadPMC(cpu.BranchMisses)-before) / float64(cfg.Rounds)
+	}
+
+	res := PoisoningResult{Config: cfg}
+	victim.StepBranches(10) // warm the victim's branch
+	res.BaselineMissRate = rate(nil)
+	res.PoisonedMissRate = rate(func() { p.Poison(false) })
+	res.AlignedMissRate = rate(func() { p.Poison(true) })
+	return res
+}
+
+// String implements fmt.Stringer.
+func (r PoisoningResult) String() string {
+	return fmt.Sprintf(
+		"Branch poisoning (§1 / Spectre connection), %d rounds, %s:\n"+
+			"  victim branch miss rate, undisturbed      %8s\n"+
+			"  poisoned against the victim's direction   %8s\n"+
+			"  poisoned along the victim's direction     %8s\n",
+		r.Config.Rounds, r.Config.Model.Name,
+		stats.Percent(r.BaselineMissRate),
+		stats.Percent(r.PoisonedMissRate),
+		stats.Percent(r.AlignedMissRate))
+}
+
+// DetectionConfig parameterizes the §10.2 footprint-detector study.
+type DetectionConfig struct {
+	// Bits transmitted by the monitored attacker.
+	Bits  int
+	Model uarch.Model
+	Seed  uint64
+}
+
+func (c DetectionConfig) withDefaults() DetectionConfig {
+	if c.Bits == 0 {
+		c.Bits = 400
+	}
+	if c.Model.Name == "" {
+		c.Model = uarch.Skylake()
+	}
+	return c
+}
+
+// QuickDetectionConfig returns a test-scale configuration.
+func QuickDetectionConfig() DetectionConfig { return DetectionConfig{Bits: 120} }
+
+// DetectionRow is one monitored workload.
+type DetectionRow struct {
+	Workload   string
+	Detected   bool
+	Alerts     int
+	Windows    uint64
+	Suspicious uint64
+}
+
+// DetectionResult reports the detector against the attacker and a set of
+// benign workloads.
+type DetectionResult struct {
+	Config DetectionConfig
+	Rows   []DetectionRow
+}
+
+// RunDetection regenerates the detector study: the allocation-churn
+// monitor watches (a) a full BranchScope spy, (b) a modular
+// exponentiation service, (c) a JPEG decoder, and (d) a dense
+// random-branch process (the documented false-positive case).
+func RunDetection(cfg DetectionConfig) DetectionResult {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed + 18)
+	res := DetectionResult{Config: cfg}
+	add := func(name string, m *detect.Monitor) {
+		w, s := m.Stats()
+		res.Rows = append(res.Rows, DetectionRow{
+			Workload: name, Detected: m.Detected(), Alerts: m.Alerts(),
+			Windows: w, Suspicious: s,
+		})
+	}
+
+	{ // The attacker.
+		sys := sched.NewSystem(cfg.Model, r.Uint64())
+		secret := r.Bits(cfg.Bits)
+		victim := sys.Spawn("victim", victims.LoopingSecretArraySender(secret, 0))
+		spy := sys.NewProcess("spy")
+		mon := detect.Attach(spy, detect.Config{})
+		sess, err := core.NewSession(spy, r.Split(), core.AttackConfig{
+			Search: core.SearchConfig{TargetAddr: victims.SecretBranchAddr, Focused: true},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: detection setup failed: %v", err))
+		}
+		for range secret {
+			sess.SpyBit(victim, nil, nil)
+		}
+		victim.Kill()
+		add("BranchScope spy", mon)
+	}
+	{ // Benign: modular exponentiation service.
+		sys := sched.NewSystem(cfg.Model, r.Uint64())
+		ctx := sys.NewProcess("modexp")
+		mon := detect.Attach(ctx, detect.Config{})
+		for i := 0; i < 12; i++ {
+			exp := new(big.Int).SetUint64(r.Uint64() | 1<<63)
+			victims.MontgomeryLadder(ctx, big.NewInt(3), exp, big.NewInt(1000003))
+		}
+		add("modexp service (benign)", mon)
+	}
+	{ // Benign: JPEG decoder.
+		sys := sched.NewSystem(cfg.Model, r.Uint64())
+		ctx := sys.NewProcess("decoder")
+		mon := detect.Attach(ctx, detect.Config{})
+		var b victims.Block
+		b[0][0] = 44
+		b[2][6] = -3
+		for i := 0; i < 150; i++ {
+			victims.IDCT(ctx, &b)
+		}
+		add("jpeg decoder (benign)", mon)
+	}
+	{ // The documented limitation: dense random branches.
+		sys := sched.NewSystem(cfg.Model, r.Uint64())
+		ctx := sys.NewProcess("fuzzer")
+		mon := detect.Attach(ctx, detect.Config{})
+		for i := 0; i < 4000; i++ {
+			ctx.Branch(0x9000+r.Uint64n(1<<16), r.Bool())
+		}
+		add("dense random branches (false positive)", mon)
+	}
+	return res
+}
+
+// String implements fmt.Stringer.
+func (r DetectionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Attack-footprint detection (§10.2), allocation-churn monitor (%s):\n",
+		r.Config.Model.Name)
+	for _, row := range r.Rows {
+		verdict := "clean"
+		if row.Detected {
+			verdict = fmt.Sprintf("DETECTED (%d alerts)", row.Alerts)
+		}
+		fmt.Fprintf(&b, "  %-40s %-22s %d/%d suspicious windows\n",
+			row.Workload, verdict, row.Suspicious, row.Windows)
+	}
+	return b.String()
+}
+
+// SlidingWindowConfig parameterizes the §9.2 "limited information"
+// experiment: skeleton recovery against a sliding-window exponentiation.
+type SlidingWindowConfig struct {
+	ExponentBits int
+	Traces       int
+	Model        uarch.Model
+	Seed         uint64
+}
+
+func (c SlidingWindowConfig) withDefaults() SlidingWindowConfig {
+	if c.ExponentBits == 0 {
+		c.ExponentBits = 512
+	}
+	if c.Traces == 0 {
+		c.Traces = 3
+	}
+	if c.Model.Name == "" {
+		c.Model = uarch.Skylake()
+	}
+	return c
+}
+
+// QuickSlidingWindowConfig returns a test-scale configuration.
+func QuickSlidingWindowConfig() SlidingWindowConfig {
+	return SlidingWindowConfig{ExponentBits: 128}
+}
+
+// SlidingWindowExpResult reports the experiment.
+type SlidingWindowExpResult struct {
+	Config SlidingWindowConfig
+	Result attacks.SlidingWindowResult
+}
+
+// RunSlidingWindow regenerates the sliding-window skeleton recovery: the
+// key-bit dependence is indirect (window scan), yet BranchScope's branch
+// directions combined with classic step timing pin a large fraction of
+// the key — the partial leakage §9.2 describes for modern libraries.
+func RunSlidingWindow(cfg SlidingWindowConfig) SlidingWindowExpResult {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed + 20)
+	exp := new(big.Int).SetBit(big.NewInt(0), cfg.ExponentBits-1, 1)
+	for i := 0; i < cfg.ExponentBits-1; i++ {
+		if r.Bool() {
+			exp.SetBit(exp, i, 1)
+		}
+	}
+	sys := sched.NewSystem(cfg.Model, r.Uint64())
+	const unitCycles = 400 // one modular multiplication; calibrated offline
+	res, err := attacks.RecoverSlidingWindowSkeleton(sys, exp, unitCycles, cfg.Traces, r.Uint64())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sliding-window setup failed: %v", err))
+	}
+	return SlidingWindowExpResult{Config: cfg, Result: res}
+}
+
+// String implements fmt.Stringer.
+func (r SlidingWindowExpResult) String() string {
+	return fmt.Sprintf(
+		"Sliding-window exponentiation (§9.2 partial leakage), %d-bit key, %s:\n  %s\n",
+		r.Config.ExponentBits, r.Config.Model.Name, r.Result)
+}
+
+// PredictorAblationConfig parameterizes the predictor-organization
+// ablation: §5 argues the attack hinges on forcing the 1-level
+// (PC-indexed) predictor; measuring the channel against pure-bimodal,
+// hybrid, and pure-gshare units isolates that dependence.
+type PredictorAblationConfig struct {
+	Bits int
+	Runs int
+	Seed uint64
+}
+
+func (c PredictorAblationConfig) withDefaults() PredictorAblationConfig {
+	if c.Bits == 0 {
+		c.Bits = 4000
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	return c
+}
+
+// QuickPredictorAblationConfig returns a test-scale configuration.
+func QuickPredictorAblationConfig() PredictorAblationConfig {
+	return PredictorAblationConfig{Bits: 800, Runs: 1}
+}
+
+// PredictorAblationRow is one BPU organization's result.
+type PredictorAblationRow struct {
+	Mode        bpu.Mode
+	ErrorRate   float64
+	SetupFailed int
+}
+
+// PredictorAblationResult holds the ablation.
+type PredictorAblationResult struct {
+	Config PredictorAblationConfig
+	Rows   []PredictorAblationRow
+}
+
+// RunPredictorAblation regenerates the ablation on the Skylake tables.
+func RunPredictorAblation(cfg PredictorAblationConfig) PredictorAblationResult {
+	cfg = cfg.withDefaults()
+	res := PredictorAblationResult{Config: cfg}
+	for i, mode := range []bpu.Mode{bpu.BimodalOnly, bpu.Hybrid, bpu.GshareOnly} {
+		m := uarch.Skylake()
+		m.BPU.Mode = mode
+		c := RunCovert(CovertConfig{
+			Model: m, Setting: Isolated, Pattern: RandomBits,
+			Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed + uint64(i)*977,
+		})
+		res.Rows = append(res.Rows, PredictorAblationRow{
+			Mode: mode, ErrorRate: c.ErrorRate, SetupFailed: c.SetupFailed,
+		})
+	}
+	return res
+}
+
+// String implements fmt.Stringer.
+func (r PredictorAblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Predictor-organization ablation (§5): covert error by BPU mode")
+	fmt.Fprintln(&b, "(Skylake tables, isolated, random bits; 50% = channel closed)")
+	for _, row := range r.Rows {
+		note := ""
+		if row.SetupFailed > 0 {
+			note = fmt.Sprintf("  (pre-attack search failed in %d run(s))", row.SetupFailed)
+		}
+		fmt.Fprintf(&b, "  %-10s %8s%s\n", row.Mode, stats.Percent(row.ErrorRate), note)
+	}
+	return b.String()
+}
+
+// TimingChannelConfig parameterizes the §8 end-to-end comparison: the
+// covert channel run twice on the same configuration, once probing with
+// the misprediction PMC and once with rdtscp timing only.
+type TimingChannelConfig struct {
+	Bits int
+	Runs int
+	Seed uint64
+}
+
+func (c TimingChannelConfig) withDefaults() TimingChannelConfig {
+	if c.Bits == 0 {
+		c.Bits = 4000
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	return c
+}
+
+// QuickTimingChannelConfig returns a test-scale configuration.
+func QuickTimingChannelConfig() TimingChannelConfig {
+	return TimingChannelConfig{Bits: 800, Runs: 1}
+}
+
+// TimingChannelResult compares the probe mechanisms.
+type TimingChannelResult struct {
+	Config TimingChannelConfig
+	// PMCError and TSCError are the covert error rates with performance
+	// counter and timestamp probing respectively.
+	PMCError float64
+	TSCError float64
+}
+
+// RunTimingChannel regenerates the comparison (Skylake, isolated, random
+// bits).
+func RunTimingChannel(cfg TimingChannelConfig) TimingChannelResult {
+	cfg = cfg.withDefaults()
+	base := CovertConfig{
+		Model: uarch.Skylake(), Setting: Isolated, Pattern: RandomBits,
+		Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed + 27,
+	}
+	pmc := RunCovert(base)
+	base.UseTiming = true
+	tsc := RunCovert(base)
+	return TimingChannelResult{Config: cfg, PMCError: pmc.ErrorRate, TSCError: tsc.ErrorRate}
+}
+
+// String implements fmt.Stringer.
+func (r TimingChannelResult) String() string {
+	return fmt.Sprintf(
+		"Probe mechanism comparison (§8), Skylake isolated, %d bits:\n"+
+			"  misprediction PMC probing   %8s\n"+
+			"  rdtscp timing probing       %8s  (single-shot; Fig 8's m=1 predicts ~10%%)\n",
+		r.Config.Bits, stats.Percent(r.PMCError), stats.Percent(r.TSCError))
+}

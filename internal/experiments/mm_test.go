@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"testing"
+
+	"branchscope/internal/uarch"
+)
+
+func mustModel(t *testing.T, name string) uarch.Model {
+	m, err := uarch.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

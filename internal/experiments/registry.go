@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+
+	"branchscope/internal/uarch"
+)
+
+// Experiment is a runnable paper artifact for the cmd/experiments
+// harness.
+type Experiment struct {
+	// ID is the short name used on the command line ("fig2", "table2").
+	ID string
+	// Artifact names the paper table/figure or extension.
+	Artifact string
+	// Description summarizes what is measured.
+	Description string
+	// Run executes the experiment and returns its printable result.
+	// quick selects the test-scale configuration.
+	Run func(quick bool, seed uint64) fmt.Stringer
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID: "fig2", Artifact: "Figure 2",
+			Description: "selection-logic learning curve for an irregular branch pattern",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := Fig2Config{Seed: seed}
+				if quick {
+					cfg = QuickFig2Config()
+					cfg.Seed = seed
+				}
+				return RunFig2(cfg)
+			},
+		},
+		{
+			ID: "table1", Artifact: "Table 1",
+			Description: "prime/target/probe FSM transitions on all three CPUs",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				var all multiResult
+				for _, m := range uarch.All() {
+					all = append(all, RunTable1(m, seed))
+				}
+				return all
+			},
+		},
+		{
+			ID: "fig4", Artifact: "Figure 4",
+			Description: "distribution of PHT states after randomization blocks",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := Fig4Config{Seed: seed}
+				if quick {
+					cfg = QuickFig4Config()
+					cfg.Seed = seed
+				}
+				return RunFig4(cfg)
+			},
+		},
+		{
+			ID: "fig5", Artifact: "Figure 5",
+			Description: "PHT mapping and size discovery via Hamming windows",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := Fig5Config{Seed: seed}
+				if quick {
+					cfg = QuickFig5Config()
+					cfg.Seed = seed
+				}
+				return RunFig5(cfg)
+			},
+		},
+		{
+			ID: "fig6", Artifact: "Figure 6",
+			Description: "covert-channel decoding demonstration",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				return RunFig6(Fig6Config{Seed: seed})
+			},
+		},
+		{
+			ID: "table2", Artifact: "Table 2",
+			Description: "covert-channel error rates: 3 CPUs x settings x patterns",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := Table2Config{Seed: seed}
+				if quick {
+					cfg = QuickTable2Config()
+					cfg.Seed = seed
+				}
+				return RunTable2(cfg)
+			},
+		},
+		{
+			ID: "fig7", Artifact: "Figure 7",
+			Description: "branch latency distributions, hit vs miss",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := Fig7Config{Seed: seed}
+				if quick {
+					cfg = QuickFig7Config()
+					cfg.Seed = seed
+				}
+				return RunFig7(cfg)
+			},
+		},
+		{
+			ID: "fig8", Artifact: "Figure 8",
+			Description: "timing-detection error vs number of measurements",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := Fig8Config{Seed: seed}
+				if quick {
+					cfg = QuickFig8Config()
+					cfg.Seed = seed
+				}
+				return RunFig8(cfg)
+			},
+		},
+		{
+			ID: "fig9", Artifact: "Figure 9",
+			Description: "probe latency by primed PHT state",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := Fig9Config{Seed: seed}
+				if quick {
+					cfg = QuickFig9Config()
+					cfg.Seed = seed
+				}
+				return RunFig9(cfg)
+			},
+		},
+		{
+			ID: "table3", Artifact: "Table 3",
+			Description: "covert channel with an SGX-enclave sender",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := Table3Config{Seed: seed}
+				if quick {
+					cfg = QuickTable3Config()
+					cfg.Seed = seed
+				}
+				return RunTable3(cfg)
+			},
+		},
+		{
+			ID: "mitigations", Artifact: "§10.2 (extension)",
+			Description: "covert-channel error under each proposed hardware defense",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := MitigationsConfig{Seed: seed}
+				if quick {
+					cfg = QuickMitigationsConfig()
+					cfg.Seed = seed
+				}
+				return RunMitigations(cfg)
+			},
+		},
+		{
+			ID: "montgomery", Artifact: "§9.2",
+			Description: "Montgomery-ladder exponent recovery",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := MontgomeryConfig{Seed: seed}
+				if quick {
+					cfg = QuickMontgomeryConfig()
+					cfg.Seed = seed
+				}
+				return RunMontgomery(cfg)
+			},
+		},
+		{
+			ID: "jpeg", Artifact: "§9.2",
+			Description: "libjpeg IDCT block-structure recovery",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := JPEGConfig{Seed: seed}
+				if quick {
+					cfg = QuickJPEGConfig()
+					cfg.Seed = seed
+				}
+				return RunJPEG(cfg)
+			},
+		},
+		{
+			ID: "aslr", Artifact: "§9.2",
+			Description: "ASLR slide recovery via PHT collision scanning",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := ASLRConfig{Seed: seed}
+				if quick {
+					cfg = QuickASLRConfig()
+					cfg.Seed = seed
+				}
+				return RunASLR(cfg)
+			},
+		},
+		{
+			ID: "ifconversion", Artifact: "§10.1 (extension)",
+			Description: "attack vs the if-converted (branchless) Montgomery ladder",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := IfConversionConfig{Seed: seed}
+				if quick {
+					cfg = QuickIfConversionConfig()
+					cfg.Seed = seed
+				}
+				return RunIfConversion(cfg)
+			},
+		},
+		{
+			ID: "poisoning", Artifact: "§1 (extension)",
+			Description: "branch poisoning: forcing victim mispredictions on demand",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := PoisoningConfig{Seed: seed}
+				if quick {
+					cfg = QuickPoisoningConfig()
+					cfg.Seed = seed
+				}
+				return RunPoisoning(cfg)
+			},
+		},
+		{
+			ID: "detection", Artifact: "§10.2 (extension)",
+			Description: "attack-footprint detector vs attacker and benign workloads",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := DetectionConfig{Seed: seed}
+				if quick {
+					cfg = QuickDetectionConfig()
+					cfg.Seed = seed
+				}
+				return RunDetection(cfg)
+			},
+		},
+		{
+			ID: "slidingwindow", Artifact: "§9.2 (extension)",
+			Description: "partial key recovery from a sliding-window exponentiation",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := SlidingWindowConfig{Seed: seed}
+				if quick {
+					cfg = QuickSlidingWindowConfig()
+					cfg.Seed = seed
+				}
+				return RunSlidingWindow(cfg)
+			},
+		},
+		{
+			ID: "smt", Artifact: "§1 (extension)",
+			Description: "cross-hyperthread covert channel without branch-granular control",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := SMTConfig{Seed: seed}
+				if quick {
+					cfg = QuickSMTConfig()
+					cfg.Seed = seed
+				}
+				return RunSMT(cfg)
+			},
+		},
+		{
+			ID: "predictors", Artifact: "§5 (extension)",
+			Description: "covert error by predictor organization (bimodal/hybrid/gshare)",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := PredictorAblationConfig{Seed: seed}
+				if quick {
+					cfg = QuickPredictorAblationConfig()
+					cfg.Seed = seed
+				}
+				return RunPredictorAblation(cfg)
+			},
+		},
+		{
+			ID: "timingchannel", Artifact: "§8 (extension)",
+			Description: "covert channel with PMC vs rdtscp-only probing",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := TimingChannelConfig{Seed: seed}
+				if quick {
+					cfg = QuickTimingChannelConfig()
+					cfg.Seed = seed
+				}
+				return RunTimingChannel(cfg)
+			},
+		},
+		{
+			ID: "fsmwidth", Artifact: "§10.2 (extension)",
+			Description: "counter-width ablation: do wider saturating counters stop the attack?",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := FSMWidthConfig{Seed: seed}
+				if quick {
+					cfg = QuickFSMWidthConfig()
+					cfg.Seed = seed
+				}
+				return RunFSMWidth(cfg)
+			},
+		},
+		{
+			ID: "btb", Artifact: "§11 (baseline)",
+			Description: "BranchScope vs the prior-work BTB eviction channel",
+			Run: func(quick bool, seed uint64) fmt.Stringer {
+				cfg := BTBBaselineConfig{Seed: seed}
+				if quick {
+					cfg = QuickBTBBaselineConfig()
+					cfg.Seed = seed
+				}
+				return RunBTBBaseline(cfg)
+			},
+		},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// multiResult concatenates several results.
+type multiResult []fmt.Stringer
+
+// String implements fmt.Stringer.
+func (m multiResult) String() string {
+	out := ""
+	for _, r := range m {
+		out += r.String() + "\n"
+	}
+	return out
+}

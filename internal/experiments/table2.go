@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"branchscope/internal/stats"
+	"branchscope/internal/uarch"
+)
+
+// Table2Config parameterizes the §7 covert-channel benchmark grid: three
+// CPUs × {isolated, with noise} × {all 0, all 1, random}.
+type Table2Config struct {
+	// Bits per run. The paper transmits 1e6 bits; the default here is
+	// smaller to keep the harness fast — raise it to tighten the
+	// estimates.
+	Bits int
+	// Runs averaged per cell (the paper uses 10).
+	Runs int
+	// Models defaults to the paper's three CPUs.
+	Models []uarch.Model
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Table2Config) withDefaults() Table2Config {
+	if c.Bits == 0 {
+		c.Bits = 20000
+	}
+	if c.Runs == 0 {
+		c.Runs = 10
+	}
+	if c.Models == nil {
+		c.Models = uarch.All()
+	}
+	return c
+}
+
+// QuickTable2Config returns a test-scale configuration.
+func QuickTable2Config() Table2Config {
+	return Table2Config{Bits: 1500, Runs: 2}
+}
+
+// Table2Result holds the full grid, indexed [model][setting][pattern].
+type Table2Result struct {
+	Config Table2Config
+	Cells  []Table2Row
+}
+
+// Table2Row is one line of the paper's Table 2 (a model × setting).
+type Table2Row struct {
+	Model   string
+	Setting Setting
+	// Rates indexed by BitPattern: All 0, All 1, Random.
+	Rates [3]float64
+}
+
+// RunTable2 regenerates Table 2.
+func RunTable2(cfg Table2Config) Table2Result {
+	cfg = cfg.withDefaults()
+	res := Table2Result{Config: cfg}
+	seed := cfg.Seed
+	for _, m := range cfg.Models {
+		for _, setting := range []Setting{Isolated, Noisy} {
+			row := Table2Row{Model: m.Name, Setting: setting}
+			for _, pat := range []BitPattern{AllZeros, AllOnes, RandomBits} {
+				seed++
+				c := RunCovert(CovertConfig{
+					Model: m, Setting: setting, Pattern: pat,
+					Bits: cfg.Bits, Runs: cfg.Runs, Seed: seed,
+				})
+				row.Rates[pat] = c.ErrorRate
+			}
+			res.Cells = append(res.Cells, row)
+		}
+	}
+	return res
+}
+
+// String renders the grid in the paper's layout.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: average error rate for transmitting bits using BranchScope\n")
+	fmt.Fprintf(&b, "(%d bits/run, %d runs per cell)\n", r.Config.Bits, r.Config.Runs)
+	fmt.Fprintf(&b, "%-26s %8s %8s %8s\n", "", "All 0", "All 1", "Random")
+	for _, row := range r.Cells {
+		fmt.Fprintf(&b, "%-26s %8s %8s %8s\n",
+			fmt.Sprintf("%s %s", row.Model, row.Setting),
+			stats.Percent(row.Rates[AllZeros]),
+			stats.Percent(row.Rates[AllOnes]),
+			stats.Percent(row.Rates[RandomBits]))
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"branchscope/internal/stats"
+	"branchscope/internal/uarch"
+)
+
+// Table3Config parameterizes the §9.2 SGX covert-channel benchmark: the
+// sender (trojan) runs inside an SGX enclave on the Skylake machine and
+// the spy is a regular process assisted by the malicious OS.
+type Table3Config struct {
+	Bits int
+	Runs int
+	Seed uint64
+}
+
+func (c Table3Config) withDefaults() Table3Config {
+	if c.Bits == 0 {
+		c.Bits = 20000
+	}
+	if c.Runs == 0 {
+		c.Runs = 10
+	}
+	return c
+}
+
+// QuickTable3Config returns a test-scale configuration.
+func QuickTable3Config() Table3Config {
+	return Table3Config{Bits: 1500, Runs: 2}
+}
+
+// Table3Result holds the two SGX rows.
+type Table3Result struct {
+	Config Table3Config
+	Rows   []Table2Row // reuses the row shape: setting × three patterns
+}
+
+// RunTable3 regenerates Table 3.
+func RunTable3(cfg Table3Config) Table3Result {
+	cfg = cfg.withDefaults()
+	m := uarch.Skylake()
+	res := Table3Result{Config: cfg}
+	seed := cfg.Seed + 0x3600                            // distinct stream from Table 2
+	for _, setting := range []Setting{Noisy, Isolated} { // the paper lists noise first
+		row := Table2Row{Model: "SGX", Setting: setting}
+		for _, pat := range []BitPattern{AllZeros, AllOnes, RandomBits} {
+			seed++
+			c := RunCovert(CovertConfig{
+				Model: m, Setting: setting, Pattern: pat, SGX: true,
+				Bits: cfg.Bits, Runs: cfg.Runs, Seed: seed,
+			})
+			row.Rates[pat] = c.ErrorRate
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders the SGX grid in the paper's layout.
+func (r Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: SGX covert channel error rate (trojan in enclave, OS-assisted spy)\n")
+	fmt.Fprintf(&b, "(%d bits/run, %d runs per cell, Skylake)\n", r.Config.Bits, r.Config.Runs)
+	fmt.Fprintf(&b, "%-26s %8s %8s %8s\n", "", "All 0", "All 1", "Random")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-26s %8s %8s %8s\n",
+			fmt.Sprintf("%s %s", row.Model, row.Setting),
+			stats.Percent(row.Rates[AllZeros]),
+			stats.Percent(row.Rates[AllOnes]),
+			stats.Percent(row.Rates[RandomBits]))
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+// Package noise generates the background system activity of the paper's
+// experimental settings (§7): other processes and kernel work sharing the
+// physical core with the attacker and the victim, whose branches
+// occasionally alias with the attacker's target PHT entry and perturb the
+// channel.
+//
+// A noise process is an endless stream of branches with random addresses
+// and random directions. Its intensity (how many of its instructions run
+// per attack episode) is the knob that distinguishes the "isolated core"
+// setting from the unrestricted one; the per-model values live in
+// internal/uarch.
+package noise
+
+import (
+	"branchscope/internal/cpu"
+	"branchscope/internal/rng"
+)
+
+// DefaultRegion is the virtual address base used for noise code when the
+// caller has no preference. It deliberately overlaps nothing the example
+// attacks use, so all interference goes through table aliasing, as on
+// real hardware.
+const DefaultRegion uint64 = 0x7f00_0000_0000
+
+// Process returns a never-terminating process function that executes
+// random branches at addresses in [base, base+span). Roughly one in eight
+// instructions is a non-branch, mimicking branch-dense system code.
+// Run it via sched.Spawn and step it between attack phases.
+func Process(seed uint64, base uint64, span uint64) func(*cpu.Context) {
+	if span == 0 {
+		span = 1 << 20
+	}
+	return func(ctx *cpu.Context) {
+		r := rng.New(seed)
+		for {
+			addr := base + r.Uint64n(span)
+			if r.Intn(8) == 0 {
+				ctx.Nop(addr)
+				continue
+			}
+			ctx.Branch(addr, r.Bool())
+		}
+	}
+}
+
+// Burst executes n instructions of noise directly on ctx (for harnesses
+// that do not want a separate thread). It uses its own generator so
+// repeated bursts continue the same stream.
+type Burst struct {
+	r    *rng.Source
+	base uint64
+	span uint64
+}
+
+// NewBurst creates a direct-execution noise source.
+func NewBurst(seed uint64, base uint64, span uint64) *Burst {
+	if span == 0 {
+		span = 1 << 20
+	}
+	return &Burst{r: rng.New(seed), base: base, span: span}
+}
+
+// Run executes n noise instructions on ctx.
+func (b *Burst) Run(ctx *cpu.Context, n int) {
+	for i := 0; i < n; i++ {
+		addr := b.base + b.r.Uint64n(b.span)
+		if b.r.Intn(8) == 0 {
+			ctx.Nop(addr)
+			continue
+		}
+		ctx.Branch(addr, b.r.Bool())
+	}
+}

@@ -1,0 +1,150 @@
+// Package pht implements the pattern history table: the array of
+// saturating-counter FSM entries at the core of a directional branch
+// predictor, together with the index functions that map a branch to an
+// entry.
+//
+// BranchScope's central observation is that when the 1-level (bimodal)
+// predictor is in use, the PHT entry is a pure function of the branch
+// virtual address, so two processes that place branches at the same
+// virtual address collide in the same entry. The index functions here
+// implement the bimodal scheme (address modulo table size, byte
+// granularity per §6.3), the gshare scheme (address XOR global history),
+// and a keyed randomized scheme used by the §10 mitigation study.
+package pht
+
+import (
+	"fmt"
+
+	"branchscope/internal/fsm"
+	"branchscope/internal/rng"
+)
+
+// Table is a pattern history table: Size saturating counters sharing one
+// FSM spec. The zero value is not usable; construct with New.
+type Table struct {
+	spec    *fsm.Spec
+	entries []uint8
+
+	// updateProb, when < 1, makes counter updates stochastic: each
+	// update is applied with this probability. This implements the
+	// "more stochastic FSM" hardware mitigation sketched in §10.2.
+	updateProb float64
+	rnd        *rng.Source
+}
+
+// New returns a table of size entries, each initialized to the spec's
+// fresh-entry state. It panics if size is not positive.
+func New(spec *fsm.Spec, size int) *Table {
+	if size <= 0 {
+		panic("pht: table size must be positive")
+	}
+	t := &Table{spec: spec, entries: make([]uint8, size), updateProb: 1}
+	t.Reset()
+	return t
+}
+
+// SetStochastic makes updates apply only with probability p, drawing
+// randomness from rnd. Passing p >= 1 restores deterministic updates.
+func (t *Table) SetStochastic(p float64, rnd *rng.Source) {
+	t.updateProb = p
+	t.rnd = rnd
+}
+
+// Size returns the number of entries.
+func (t *Table) Size() int { return len(t.entries) }
+
+// Spec returns the FSM spec shared by all entries.
+func (t *Table) Spec() *fsm.Spec { return t.spec }
+
+// Reset returns every entry to the fresh-entry state.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = t.spec.Init
+	}
+}
+
+// Predict returns the predicted direction of entry idx.
+func (t *Table) Predict(idx int) bool {
+	return t.spec.Predict(t.entries[idx])
+}
+
+// Update advances entry idx by one observed outcome.
+func (t *Table) Update(idx int, taken bool) {
+	if t.updateProb < 1 && t.rnd != nil && !t.rnd.Chance(t.updateProb) {
+		return
+	}
+	t.entries[idx] = t.spec.Next(t.entries[idx], taken)
+}
+
+// State returns the internal FSM state of entry idx. This is a simulator
+// inspection hook used by white-box tests and ground-truth checks; attack
+// code must not call it.
+func (t *Table) State(idx int) uint8 { return t.entries[idx] }
+
+// SetState forces entry idx into a specific state. Simulator/test hook.
+func (t *Table) SetState(idx int, state uint8) {
+	if !t.spec.Valid(state) {
+		panic(fmt.Sprintf("pht: invalid state %d for %s", state, t.spec.Name))
+	}
+	t.entries[idx] = state
+}
+
+// Label returns the architectural label of entry idx. Simulator/test hook.
+func (t *Table) Label(idx int) fsm.Label { return t.spec.Label(t.entries[idx]) }
+
+// Snapshot returns a copy of all entry states, for checkpoint/replay.
+func (t *Table) Snapshot() []uint8 {
+	return append([]uint8(nil), t.entries...)
+}
+
+// Restore reinstates a snapshot previously produced by Snapshot. It panics
+// on a size mismatch.
+func (t *Table) Restore(snap []uint8) {
+	if len(snap) != len(t.entries) {
+		panic("pht: snapshot size mismatch")
+	}
+	copy(t.entries, snap)
+}
+
+// fold mixes the high half of a branch address into its low bits before
+// table indexing. Real front-ends hash a wide slice of the address (prior
+// BTB work exploited address bits up to bit 30); a pure low-bit modulo
+// would make all address bits above the table index invisible, which
+// contradicts the ability of branch-predictor side channels to
+// de-randomize ASLR slides (§9.2). The fold preserves every observation
+// of §6.3: single-byte index granularity, and exact periodicity at the
+// table size within any 64 KiB-aligned probing window (the paper's Figure
+// 5 window 0x300000–0x30ffff is one such window).
+func fold(addr uint64) uint64 {
+	return addr ^ (addr >> 16)
+}
+
+// BimodalIndex maps a branch address to a PHT entry for the 1-level
+// predictor: the folded address modulo the table size, with single-byte
+// granularity as discovered in §6.3 ("the granularity of PHT's indexing
+// function is a single byte").
+func BimodalIndex(addr uint64, size int) int {
+	return int(fold(addr) % uint64(size))
+}
+
+// GshareIndex maps a branch address and global history register value to
+// a PHT entry for the 2-level predictor: the folded address XORed with
+// the history, modulo table size.
+func GshareIndex(addr, ghr uint64, size int) int {
+	return int((fold(addr) ^ ghr) % uint64(size))
+}
+
+// KeyedIndex is the randomized-index mitigation of §10.2: the address is
+// mixed with a per-security-domain key before indexing, so an attacker in
+// another domain cannot construct predictable collisions. The mix is a
+// 64-bit finalizer, not a cryptographic primitive; the mitigation study
+// only needs collision unpredictability, not secrecy of the key.
+func KeyedIndex(addr, key uint64, size int) int {
+	x := addr ^ key
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(size))
+}

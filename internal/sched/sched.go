@@ -1,0 +1,273 @@
+// Package sched provides the operating-system substrate of the
+// simulation: processes scheduled onto the hardware contexts of a
+// simulated core, with attacker-relevant control over interleaving.
+//
+// The paper's threat model (§3) requires (a) attacker/victim co-residency
+// on one physical core, (b) the ability to slow the victim down so it
+// executes a single branch between the attacker's prime and probe stages
+// (via scheduler exploitation in user space, or trivially via a malicious
+// OS for SGX), and (c) the attacker triggering victim executions. The
+// Thread abstraction realizes exactly these capabilities: a victim runs
+// as a cooperative coroutine that the attacker steps by instruction or
+// branch quanta, while the attacker's own code runs directly on its
+// context.
+//
+// Threads use strict channel handoff: at any moment either the scheduler
+// or exactly one thread is running, so the simulated core's state needs
+// no locking and execution is fully deterministic.
+package sched
+
+import (
+	"fmt"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/rng"
+	"branchscope/internal/uarch"
+)
+
+// System is a simulated machine with one physical core and a process
+// registry. It hands out hardware contexts with distinct security
+// domains.
+type System struct {
+	model      uarch.Model
+	core       *cpu.Core
+	rnd        *rng.Source
+	nextDomain uint64
+}
+
+// NewSystem boots a machine of the given model. All randomness in the
+// machine derives from seed.
+func NewSystem(model uarch.Model, seed uint64) *System {
+	r := rng.New(seed)
+	return &System{
+		model: model,
+		core:  model.NewCore(r.Uint64()),
+		rnd:   r.Split(),
+		// Domain 0 is reserved for the kernel; processes start at 1.
+		nextDomain: 1,
+	}
+}
+
+// Model returns the machine's microarchitecture model.
+func (s *System) Model() uarch.Model { return s.model }
+
+// Core returns the machine's physical core.
+func (s *System) Core() *cpu.Core { return s.core }
+
+// Rand returns the system's random source (for noise generation and
+// experiment harnesses).
+func (s *System) Rand() *rng.Source { return s.rnd }
+
+// NewProcess allocates a hardware context for a new process. The caller's
+// goroutine runs the process directly; use Spawn for a steppable
+// coroutine process instead.
+func (s *System) NewProcess(name string) *cpu.Context {
+	_ = name // names exist for symmetry with Spawn; contexts are anonymous
+	d := s.nextDomain
+	s.nextDomain++
+	return s.core.NewContext(d)
+}
+
+// grant is one scheduling quantum: budgets in retired instructions and
+// retired branches. A negative budget is unlimited. kill tears the thread
+// down instead of resuming it.
+type grant struct {
+	instr    int64
+	branches int64
+	kill     bool
+}
+
+// killed is the sentinel panic value used to unwind a killed thread.
+type killed struct{}
+
+// Thread is a process running as a cooperative coroutine. It executes
+// only while the scheduler has granted it a quantum; it pauses itself by
+// blocking in its instruction-retire hook.
+type Thread struct {
+	Name string
+
+	ctx      *cpu.Context
+	resume   chan grant
+	paused   chan struct{}
+	finished chan struct{}
+
+	// Owned by the thread goroutine while running.
+	budget grant
+}
+
+// Spawn creates a process executing fn on a fresh context and returns its
+// scheduling handle. fn starts suspended; nothing executes until the
+// first Step call.
+func (s *System) Spawn(name string, fn func(*cpu.Context)) *Thread {
+	t := &Thread{
+		Name:     name,
+		ctx:      s.NewProcess(name),
+		resume:   make(chan grant),
+		paused:   make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	t.ctx.SetHook(t.onRetire)
+	go func() {
+		defer close(t.finished)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); !ok {
+					panic(r)
+				}
+			}
+		}()
+		t.budget = <-t.resume
+		if t.budget.kill {
+			return
+		}
+		fn(t.ctx)
+	}()
+	return t
+}
+
+// onRetire is the context hook: it spends budget and parks the thread
+// when the quantum is exhausted.
+func (t *Thread) onRetire(isBranch bool) {
+	if t.budget.instr > 0 {
+		t.budget.instr--
+	}
+	if isBranch && t.budget.branches > 0 {
+		t.budget.branches--
+	}
+	exhausted := t.budget.instr == 0 || t.budget.branches == 0
+	if exhausted {
+		t.paused <- struct{}{}
+		t.budget = <-t.resume
+		if t.budget.kill {
+			panic(killed{})
+		}
+	}
+}
+
+// step grants a quantum and blocks until the thread pauses or finishes.
+// It reports whether the thread is still alive.
+func (t *Thread) step(g grant) bool {
+	select {
+	case <-t.finished:
+		return false
+	case t.resume <- g:
+	}
+	select {
+	case <-t.paused:
+		return true
+	case <-t.finished:
+		return false
+	}
+}
+
+// Step runs the thread for exactly n retired instructions (of any kind).
+// It reports whether the thread is still runnable afterwards. n <= 0 is a
+// no-op that reports liveness.
+func (t *Thread) Step(n int) bool {
+	if n <= 0 {
+		return !t.Finished()
+	}
+	return t.step(grant{instr: int64(n), branches: -1})
+}
+
+// StepBranches runs the thread until k more conditional branches have
+// retired, pausing immediately after the k-th. This is the victim
+// slowdown primitive: StepBranches(1) is "let the victim execute a single
+// branch during the context switch" (§7). It reports whether the thread
+// is still runnable.
+func (t *Thread) StepBranches(k int) bool {
+	if k <= 0 {
+		return !t.Finished()
+	}
+	return t.step(grant{instr: -1, branches: int64(k)})
+}
+
+// Run lets the thread execute to completion.
+func (t *Thread) Run() {
+	for t.step(grant{instr: -1, branches: -1}) {
+	}
+}
+
+// Kill terminates a suspended thread: its next resume unwinds the process
+// function instead of continuing it. Killing a finished thread is a
+// no-op. This models the OS reclaiming a process (noise generators run
+// forever and must be reaped at the end of an experiment).
+func (t *Thread) Kill() {
+	select {
+	case <-t.finished:
+		return
+	case t.resume <- grant{kill: true}:
+	}
+	<-t.finished
+}
+
+// Finished reports whether the thread's function has returned.
+func (t *Thread) Finished() bool {
+	select {
+	case <-t.finished:
+		return true
+	default:
+		return false
+	}
+}
+
+// Context exposes the thread's hardware context; useful for reading its
+// performance counters after it finishes.
+func (t *Thread) Context() *cpu.Context { return t.ctx }
+
+// String implements fmt.Stringer.
+func (t *Thread) String() string {
+	state := "runnable"
+	if t.Finished() {
+		state = "finished"
+	}
+	return fmt.Sprintf("thread %q (%s)", t.Name, state)
+}
+
+// Interleave runs the given threads in weighted random order until total
+// instructions have been distributed or every thread has finished.
+// weights must parallel threads; a weight of zero disables a thread. It
+// models timesharing of the core among background processes.
+func Interleave(rnd *rng.Source, threads []*Thread, weights []int, total int) {
+	if len(threads) != len(weights) {
+		panic("sched: Interleave weights/threads length mismatch")
+	}
+	sum := 0
+	for _, w := range weights {
+		if w < 0 {
+			panic("sched: negative weight")
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return
+	}
+	const slice = 16 // instructions per mini-quantum
+	remaining := total
+	alive := len(threads)
+	for remaining > 0 && alive > 0 {
+		// Pick a thread by weight.
+		pick := rnd.Intn(sum)
+		var t *Thread
+		for i, w := range weights {
+			if pick < w {
+				t = threads[i]
+				break
+			}
+			pick -= w
+		}
+		n := slice
+		if n > remaining {
+			n = remaining
+		}
+		if !t.Step(n) {
+			alive = 0
+			for _, th := range threads {
+				if !th.Finished() {
+					alive++
+				}
+			}
+		}
+		remaining -= n
+	}
+}

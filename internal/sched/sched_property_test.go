@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/uarch"
+)
+
+// Property: a stepped thread retires exactly the same instruction stream
+// as the same function run directly — scheduling must be transparent to
+// architectural state.
+func TestQuickSteppingTransparent(t *testing.T) {
+	program := func(ctx *cpu.Context, script []byte) {
+		for i, b := range script {
+			addr := uint64(0x2000 + int(b)*17 + i)
+			if b%3 == 0 {
+				ctx.Branch(addr, b&4 != 0)
+			} else {
+				ctx.Nop(addr)
+			}
+		}
+	}
+	f := func(seed uint64, script []byte, cuts []uint8) bool {
+		// Direct execution.
+		direct := NewSystem(uarch.SandyBridge(), seed)
+		dctx := direct.NewProcess("direct")
+		program(dctx, script)
+
+		// Stepped execution with arbitrary quanta.
+		stepped := NewSystem(uarch.SandyBridge(), seed)
+		th := stepped.Spawn("stepped", func(ctx *cpu.Context) {
+			program(ctx, script)
+		})
+		for _, c := range cuts {
+			if c == 0 {
+				continue
+			}
+			if c%2 == 0 {
+				th.Step(int(c % 7 * 3))
+			} else {
+				th.StepBranches(int(c % 3))
+			}
+			if th.Finished() {
+				break
+			}
+		}
+		th.Run()
+
+		return dctx.ReadPMC(cpu.Instructions) == th.Context().ReadPMC(cpu.Instructions) &&
+			dctx.ReadPMC(cpu.BranchInstructions) == th.Context().ReadPMC(cpu.BranchInstructions) &&
+			dctx.ReadPMC(cpu.BranchMisses) == th.Context().ReadPMC(cpu.BranchMisses)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StepBranches(k) retires at most k branches (exactly k unless
+// the program ends first).
+func TestQuickStepBranchesExact(t *testing.T) {
+	f := func(seed uint64, nBranches uint8, k uint8) bool {
+		n := int(nBranches%50) + 1
+		sys := NewSystem(uarch.SandyBridge(), seed)
+		th := sys.Spawn("v", func(ctx *cpu.Context) {
+			for i := 0; i < n; i++ {
+				ctx.Work(2)
+				ctx.Branch(0x100, i%2 == 0)
+			}
+		})
+		want := int(k%8) + 1
+		th.StepBranches(want)
+		got := int(th.Context().ReadPMC(cpu.BranchInstructions))
+		th.Run()
+		if want > n {
+			return got == n
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package uarch
+
+import (
+	"testing"
+
+	"branchscope/internal/fsm"
+)
+
+func TestAllModelsValid(t *testing.T) {
+	for _, m := range All() {
+		if err := m.BPU.Validate(); err != nil {
+			t.Errorf("%s: invalid BPU config: %v", m.Name, err)
+		}
+		if m.Name == "" || m.Part == "" {
+			t.Errorf("model missing identity: %+v", m)
+		}
+		if m.NoiseNoisyBranches <= m.NoiseIsolatedBranches {
+			t.Errorf("%s: noisy setting (%d) not noisier than isolated (%d)",
+				m.Name, m.NoiseNoisyBranches, m.NoiseIsolatedBranches)
+		}
+		if m.String() == "" {
+			t.Error("empty String")
+		}
+	}
+}
+
+func TestSkylakePHTSizeMatchesPaper(t *testing.T) {
+	// §6.3 reverse engineers 16384 PHT entries on the Skylake machine.
+	if got := Skylake().BPU.PHTSize; got != 16384 {
+		t.Errorf("Skylake PHT size = %d, want 16384", got)
+	}
+}
+
+func TestSandyBridgeSmallerTables(t *testing.T) {
+	// §7 attributes Sandy Bridge's higher error rate to smaller tables.
+	sb, sl := SandyBridge(), Skylake()
+	if sb.BPU.PHTSize >= sl.BPU.PHTSize {
+		t.Errorf("SandyBridge PHT (%d) not smaller than Skylake (%d)",
+			sb.BPU.PHTSize, sl.BPU.PHTSize)
+	}
+}
+
+func TestFSMVariants(t *testing.T) {
+	// The Skylake quirk: ST/WT indistinguishable needs the asymmetric
+	// counter; the others are textbook.
+	if Skylake().BPU.FSM.States == Haswell().BPU.FSM.States {
+		t.Error("Skylake FSM should differ from Haswell's")
+	}
+	if got := Haswell().BPU.FSM.States; got != 4 {
+		t.Errorf("Haswell FSM states = %d, want 4 (textbook)", got)
+	}
+	if got := SandyBridge().BPU.FSM.States; got != 4 {
+		t.Errorf("SandyBridge FSM states = %d, want 4 (textbook)", got)
+	}
+	if got := Skylake().BPU.FSM.States; got != 5 {
+		t.Errorf("Skylake FSM states = %d, want 5 (asymmetric)", got)
+	}
+	_ = fsm.Textbook2Bit()
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Skylake", "Haswell", "SandyBridge"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m.Name, err)
+		}
+	}
+	if _, err := ByName("Pentium4"); err == nil {
+		t.Error("ByName accepted unknown model")
+	}
+}
+
+func TestNewCore(t *testing.T) {
+	core := Skylake().NewCore(1)
+	if core == nil || core.BPU() == nil {
+		t.Fatal("NewCore returned unusable core")
+	}
+}

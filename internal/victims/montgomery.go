@@ -1,0 +1,148 @@
+package victims
+
+import (
+	"math/big"
+
+	"branchscope/internal/cpu"
+)
+
+// LadderBranchAddr is the virtual address of the Montgomery ladder's
+// key-bit branch — the single secret-dependent conditional branch of the
+// algorithm (§9.2: "it requires a branch operating with direct dependency
+// from the value of k_i").
+const LadderBranchAddr uint64 = 0x0041_2340
+
+// mulModCost approximates the instruction count of one modular
+// multiplication at the modelled operand size; it paces the simulated
+// execution (the big.Int arithmetic itself runs natively).
+const mulModCost = 400
+
+// MontgomeryLadder computes base^exp mod m with the Montgomery powering
+// ladder, executing one conditional branch per exponent bit on ctx at
+// LadderBranchAddr, taken when the bit is 1. Both ladder legs perform a
+// multiplication and a squaring regardless of the bit — the
+// constant-work property that defeats pure timing attacks — but the
+// branch direction itself is what BranchScope steals.
+//
+// Bits are processed most-significant first, skipping the implicit
+// leading 1, which matches the classic ladder and means the attack
+// recovers exp.BitLen()-1 bits.
+func MontgomeryLadder(ctx *cpu.Context, base, exp, m *big.Int) *big.Int {
+	if m.Sign() == 0 {
+		panic("victims: zero modulus")
+	}
+	r0 := new(big.Int).Mod(base, m) // R0 = base
+	r1 := new(big.Int).Mul(r0, r0)  // R1 = base^2
+	r1.Mod(r1, m)
+	if exp.Sign() == 0 {
+		return big.NewInt(1)
+	}
+	for i := exp.BitLen() - 2; i >= 0; i-- {
+		bit := exp.Bit(i) == 1
+		ctx.Branch(LadderBranchAddr, bit)
+		if bit {
+			// R0 = R0*R1; R1 = R1^2
+			r0.Mul(r0, r1).Mod(r0, m)
+			r1.Mul(r1, r1).Mod(r1, m)
+		} else {
+			// R1 = R0*R1; R0 = R0^2
+			r1.Mul(r1, r0).Mod(r1, m)
+			r0.Mul(r0, r0).Mod(r0, m)
+		}
+		ctx.Work(2 * mulModCost)
+	}
+	return r0
+}
+
+// MontgomeryLadderBranchless computes the same exponentiation with the
+// §10.1 if-conversion mitigation applied: the key-bit branch is replaced
+// by a pair of conditional swaps (cswap), compiled to cmov-style
+// conditional moves that create no conditional branch instruction. The
+// simulated instruction stream therefore contains nothing for
+// BranchScope to prime or probe. The arithmetic schedule is fixed:
+//
+//	cswap(b, R0, R1); R1 = R0*R1; R0 = R0²; cswap(b, R0, R1)
+//
+// which is algebraically the classic ladder for both bit values.
+func MontgomeryLadderBranchless(ctx *cpu.Context, base, exp, m *big.Int) *big.Int {
+	if m.Sign() == 0 {
+		panic("victims: zero modulus")
+	}
+	r0 := new(big.Int).Mod(base, m)
+	r1 := new(big.Int).Mul(r0, r0)
+	r1.Mod(r1, m)
+	if exp.Sign() == 0 {
+		return big.NewInt(1)
+	}
+	for i := exp.BitLen() - 2; i >= 0; i-- {
+		bit := exp.Bit(i) == 1
+		// The two cswaps and the multiply/square pair execute as
+		// straight-line code: Work models the cmov sequence plus the
+		// arithmetic; no conditional branch reaches the predictor.
+		if bit { // models cswap (data dependency, not control)
+			r0, r1 = r1, r0
+		}
+		r1.Mul(r0, r1).Mod(r1, m)
+		r0.Mul(r0, r0).Mod(r0, m)
+		if bit { // second cswap
+			r0, r1 = r1, r0
+		}
+		ctx.Work(2*mulModCost + 8)
+	}
+	return r0
+}
+
+// BranchlessMontgomeryProcess wraps the if-converted ladder as a looping
+// service, like MontgomeryProcess.
+func BranchlessMontgomeryProcess(base, exp, m *big.Int, out *[]*big.Int) func(*cpu.Context) {
+	return func(ctx *cpu.Context) {
+		for {
+			r := MontgomeryLadderBranchless(ctx, base, exp, m)
+			if out != nil {
+				*out = append(*out, r)
+			}
+		}
+	}
+}
+
+// MontgomeryProcess wraps MontgomeryLadder as a spawnable process,
+// storing the result through out when done. It loops the exponentiation
+// forever (a decryption service handling repeated requests), so the
+// attacker can trigger as many traces as it needs.
+func MontgomeryProcess(base, exp, m *big.Int, out *[]*big.Int) func(*cpu.Context) {
+	return func(ctx *cpu.Context) {
+		for {
+			r := MontgomeryLadder(ctx, base, exp, m)
+			if out != nil {
+				*out = append(*out, r)
+			}
+		}
+	}
+}
+
+// ExponentBits returns the bits the ladder branches on, MSB-first without
+// the leading 1 — the ground truth for attack accuracy checks.
+func ExponentBits(exp *big.Int) []bool {
+	if exp.Sign() == 0 {
+		return nil
+	}
+	bits := make([]bool, 0, exp.BitLen()-1)
+	for i := exp.BitLen() - 2; i >= 0; i-- {
+		bits = append(bits, exp.Bit(i) == 1)
+	}
+	return bits
+}
+
+// BitsToExponent reconstructs an exponent from recovered ladder bits
+// (MSB-first, excluding the implicit leading 1) — the attacker's final
+// assembly step.
+func BitsToExponent(bits []bool) *big.Int {
+	e := big.NewInt(1)
+	for _, b := range bits {
+		e.Lsh(e, 1)
+		if b {
+			e.Or(e, big.NewInt(1))
+		}
+	}
+	return e
+}

@@ -1,0 +1,119 @@
+package victims
+
+import (
+	"math/big"
+
+	"branchscope/internal/cpu"
+)
+
+// Sliding-window modular exponentiation — the victim behind §9.2's remark
+// that "most recent versions of cryptographic libraries do not contain
+// branches with outcomes dependent directly on the bits of a secret key,
+// [but] often some limited information can still be recovered", citing
+// the left-to-right sliding-window analyses. The scan loop branches on
+// "is the current exponent bit zero": zeros are squared away one at a
+// time, a set bit opens a width-w window that is consumed in one
+// multiply. The branch *directions* therefore reveal the square/multiply
+// skeleton: every position handled by the zero path is a known 0, every
+// window start is a known 1, and only the w-1 bits inside each window
+// stay hidden.
+
+// WindowScanBranchAddr is the address of the per-position zero-check
+// branch (taken when the bit is zero).
+const WindowScanBranchAddr uint64 = 0x0041_5520
+
+// SlidingWindowWidth is the window size w used by the victim.
+const SlidingWindowWidth = 4
+
+// SlidingWindowExp computes base^exp mod m with a left-to-right
+// sliding-window exponentiation, executing the scan branch once per scan
+// step on ctx.
+func SlidingWindowExp(ctx *cpu.Context, base, exp, m *big.Int) *big.Int {
+	if m.Sign() == 0 {
+		panic("victims: zero modulus")
+	}
+	result := big.NewInt(1)
+	if exp.Sign() == 0 {
+		return result
+	}
+	// Precompute odd powers base^1, base^3, ..., base^(2^w - 1).
+	b := new(big.Int).Mod(base, m)
+	b2 := new(big.Int).Mul(b, b)
+	b2.Mod(b2, m)
+	odd := make([]*big.Int, 1<<(SlidingWindowWidth-1))
+	odd[0] = new(big.Int).Set(b)
+	for i := 1; i < len(odd); i++ {
+		odd[i] = new(big.Int).Mul(odd[i-1], b2)
+		odd[i].Mod(odd[i], m)
+	}
+	ctx.Work(uint64(len(odd)) * mulModCost)
+
+	i := exp.BitLen() - 1
+	for i >= 0 {
+		zero := exp.Bit(i) == 0
+		ctx.Branch(WindowScanBranchAddr, zero)
+		if zero {
+			result.Mul(result, result).Mod(result, m)
+			ctx.Work(mulModCost)
+			i--
+			continue
+		}
+		// Open a window: take up to w bits ending in a set bit.
+		l := SlidingWindowWidth
+		if i+1 < l {
+			l = i + 1
+		}
+		for exp.Bit(i-l+1) == 0 { // shrink to an odd window value
+			l--
+		}
+		window := 0
+		for k := 0; k < l; k++ {
+			window = window<<1 | int(exp.Bit(i-k))
+		}
+		for k := 0; k < l; k++ {
+			result.Mul(result, result).Mod(result, m)
+		}
+		result.Mul(result, odd[(window-1)/2]).Mod(result, m)
+		ctx.Work(uint64(l+1) * mulModCost)
+		i -= l
+	}
+	return result
+}
+
+// SlidingWindowProcess wraps the exponentiation as a looping service.
+func SlidingWindowProcess(base, exp, m *big.Int, out *[]*big.Int) func(*cpu.Context) {
+	return func(ctx *cpu.Context) {
+		for {
+			r := SlidingWindowExp(ctx, base, exp, m)
+			if out != nil {
+				*out = append(*out, r)
+			}
+		}
+	}
+}
+
+// SlidingWindowSkeleton returns the scan-branch direction sequence the
+// exponentiation executes (true = zero path) and, per scan step, how many
+// exponent positions it consumes — the ground truth for the attack.
+func SlidingWindowSkeleton(exp *big.Int) (zeros []bool, consumed []int) {
+	i := exp.BitLen() - 1
+	for i >= 0 {
+		zero := exp.Bit(i) == 0
+		zeros = append(zeros, zero)
+		if zero {
+			consumed = append(consumed, 1)
+			i--
+			continue
+		}
+		l := SlidingWindowWidth
+		if i+1 < l {
+			l = i + 1
+		}
+		for exp.Bit(i-l+1) == 0 {
+			l--
+		}
+		consumed = append(consumed, l)
+		i -= l
+	}
+	return zeros, consumed
+}

@@ -1,0 +1,85 @@
+// Package victims implements the victim programs BranchScope is
+// demonstrated against: the secret-bit-array trojan of the covert-channel
+// benchmark (§7, Listing 2), the Montgomery-ladder modular exponentiation
+// of §9.2, a libjpeg-style inverse DCT with zero-skip branches (§9.2),
+// and an ASLR victim whose branch location is the secret.
+//
+// Victims are ordinary computations instrumented at their conditional
+// branch points: each secret-dependent comparison executes one simulated
+// conditional branch at a fixed virtual address, exactly as the compiled
+// x86 code would. The computations themselves are real — the Montgomery
+// ladder really exponentiates, the IDCT really transforms — so the leaked
+// branch streams have the true secret-dependent structure.
+package victims
+
+import "branchscope/internal/cpu"
+
+// SecretBranchAddr is the virtual address of the Listing 2 victim branch
+// (the `je 0x30006d` of the disassembly, placed in the victim_f
+// neighbourhood).
+const SecretBranchAddr uint64 = 0x0040_06d0
+
+// SecretArraySender returns the Listing 2 victim: a process that walks a
+// secret bit array and, for each bit, executes a conditional branch whose
+// direction is the bit (taken = 1 under this package's convention; the
+// paper's je-on-zero inversion is a compiler artifact with no bearing on
+// the channel). The few NOPs of the taken path are modelled as Work.
+func SecretArraySender(secret []bool, branchAddr uint64) func(*cpu.Context) {
+	if branchAddr == 0 {
+		branchAddr = SecretBranchAddr
+	}
+	return func(ctx *cpu.Context) {
+		for _, bit := range secret {
+			ctx.Work(3) // load sec_data[i], test
+			ctx.Branch(branchAddr, bit)
+			if bit {
+				ctx.Work(2) // nop; nop
+			}
+			ctx.Work(1) // i++
+		}
+	}
+}
+
+// LoopingSecretArraySender is SecretArraySender restarted forever, for
+// experiments that transmit more episodes than the array holds (the
+// receiver tracks position modulo len(secret)).
+func LoopingSecretArraySender(secret []bool, branchAddr uint64) func(*cpu.Context) {
+	inner := SecretArraySender(secret, branchAddr)
+	return func(ctx *cpu.Context) {
+		for {
+			inner(ctx)
+		}
+	}
+}
+
+// PacedIteration is the fixed instruction count of one PacedSender
+// iteration.
+const PacedIteration = 8
+
+// PacedSender is the cross-hyperthread covert-channel sender (§1: the
+// attack "can be performed across hyperthreaded cores", where the spy has
+// no branch-granular control over the sibling context's scheduling). The
+// sender cooperates — it is the attacker's own trojan — by self-clocking:
+// each bit is transmitted for `repeats` iterations of exactly
+// PacedIteration instructions regardless of the bit value, so the
+// receiver can sample on a pure time base. It loops over the secret
+// forever.
+func PacedSender(secret []bool, branchAddr uint64, repeats int) func(*cpu.Context) {
+	if branchAddr == 0 {
+		branchAddr = SecretBranchAddr
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	return func(ctx *cpu.Context) {
+		for {
+			for _, bit := range secret {
+				for r := 0; r < repeats; r++ {
+					ctx.Work(4)
+					ctx.Branch(branchAddr, bit)
+					ctx.Work(3) // padding equalizes both paths
+				}
+			}
+		}
+	}
+}
