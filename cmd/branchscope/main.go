@@ -7,38 +7,84 @@
 //
 //	branchscope [-model Skylake] [-bits 10000] [-pattern random]
 //	            [-noisy] [-sgx] [-timing] [-seed 1] [-v]
+//	            [-metrics-out m.json] [-trace-out t.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Observability: -metrics-out writes the telemetry registry (episode
+// counts, pattern distribution, per-stage cycle histograms, scheduler
+// and CPU counters) as JSON; -trace-out writes a Chrome trace-event
+// JSON of the run — per-thread timelines with one span per attack
+// episode — loadable at ui.perfetto.dev. Both exports record simulated
+// cycles only and are byte-identical across runs with the same seed.
+// -v additionally prints a metrics summary table.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"branchscope/internal/cpu"
 	"branchscope/internal/experiments"
+	"branchscope/internal/telemetry"
 	"branchscope/internal/trace"
 	"branchscope/internal/uarch"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// usageErr reports a flag-validation failure the way the flag package
+// does: message to stderr, usage, exit status 2.
+func usageErr(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	return 2
+}
+
+func run() int {
 	var (
-		model   = flag.String("model", "Skylake", "CPU model: Skylake, Haswell or SandyBridge")
-		bits    = flag.Int("bits", 10000, "number of secret bits to transmit per run")
-		runs    = flag.Int("runs", 1, "independent runs to average")
-		pattern = flag.String("pattern", "random", "bit pattern: zeros, ones or random")
-		noisy   = flag.Bool("noisy", false, "unrestricted setting (background noise shares the core)")
-		sgxMode = flag.Bool("sgx", false, "run the sender inside an SGX enclave with an OS-assisted spy")
-		timing  = flag.Bool("timing", false, "probe with rdtscp timing instead of the misprediction PMC")
-		seed    = flag.Uint64("seed", 1, "random seed (runs are fully deterministic per seed)")
-		verbose = flag.Bool("v", false, "print per-run error rates")
-		traced  = flag.Bool("trace", false, "record and summarize the spy's execution trace")
+		model      = flag.String("model", "Skylake", "CPU model: Skylake, Haswell or SandyBridge")
+		bits       = flag.Int("bits", 10000, "number of secret bits to transmit per run")
+		runs       = flag.Int("runs", 1, "independent runs to average")
+		pattern    = flag.String("pattern", "random", "bit pattern: zeros, ones or random")
+		noisy      = flag.Bool("noisy", false, "unrestricted setting (background noise shares the core)")
+		sgxMode    = flag.Bool("sgx", false, "run the sender inside an SGX enclave with an OS-assisted spy")
+		timing     = flag.Bool("timing", false, "probe with rdtscp timing instead of the misprediction PMC")
+		seed       = flag.Uint64("seed", 1, "random seed (runs are fully deterministic per seed)")
+		verbose    = flag.Bool("v", false, "print per-run error rates and a metrics summary table")
+		traced     = flag.Bool("trace", false, "record and summarize the spy's execution trace")
+		metricsOut = flag.String("metrics-out", "", "write telemetry metrics as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
+	// Validate the flag set up front; nonsensical combinations are
+	// usage errors, not silently ignored knobs.
+	if flag.NArg() > 0 {
+		return usageErr("unexpected arguments: %v", flag.Args())
+	}
+	if *bits <= 0 {
+		return usageErr("-bits must be positive (got %d)", *bits)
+	}
+	if *runs <= 0 {
+		return usageErr("-runs must be positive (got %d)", *runs)
+	}
+	if *sgxMode && *noisy {
+		return usageErr("-sgx cannot be combined with -noisy: the SGX threat model's malicious OS " +
+			"controls scheduling (use `experiments table3` for the partially-suppressed-noise cell)")
+	}
+	if *traced && *runs > 1 {
+		return usageErr("-trace requires -runs 1: per-run recorder summaries would be " +
+			"misattributed when averaging over runs")
+	}
 	m, err := uarch.ByName(*model)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return usageErr("%v", err)
 	}
 	var pat experiments.BitPattern
 	switch *pattern {
@@ -49,13 +95,35 @@ func main() {
 	case "random":
 		pat = experiments.RandomBits
 	default:
-		fmt.Fprintf(os.Stderr, "unknown pattern %q (want zeros, ones or random)\n", *pattern)
-		os.Exit(2)
+		return usageErr("unknown pattern %q (want zeros, ones or random)", *pattern)
 	}
 	setting := experiments.Isolated
 	if *noisy {
 		setting = experiments.Noisy
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "starting CPU profile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// The registry is always on (the CLI is not a hot path); the tracer
+	// only when its output is requested, since it retains every event.
+	reg := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+	}
+	set := telemetry.New(reg, tracer)
 
 	cfg := experiments.CovertConfig{
 		Model:     m,
@@ -66,6 +134,7 @@ func main() {
 		SGX:       *sgxMode,
 		UseTiming: *timing,
 		Seed:      *seed,
+		Telemetry: set,
 	}
 	var recorders []*trace.Recorder
 	if *traced {
@@ -100,4 +169,53 @@ func main() {
 			fmt.Printf("  last branches: %s\n", rec.Directions())
 		}
 	}
+	if *verbose {
+		fmt.Println("metrics:")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, reg.Snapshot().WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "writing metrics:", err)
+			return 1
+		}
+		fmt.Println("metrics written to", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, tracer.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			return 1
+		}
+		fmt.Println("trace written to", *traceOut, "(load at ui.perfetto.dev)")
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "writing heap profile:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeFileWith streams writer-based output (WriteJSON) into path.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -124,13 +124,26 @@ func FindBlock(ctx *cpu.Context, r *rng.Source, cfg SearchConfig, desired StateC
 	if maxCandidates <= 0 {
 		maxCandidates = 200
 	}
+	tel := ctx.Core().Telemetry()
+	var start uint64
+	if tel != nil {
+		start = ctx.Core().Clock()
+	}
+	candidates := tel.Counter("core.search.candidates")
 	for i := 0; i < maxCandidates; i++ {
 		b := cfg.generate(r)
+		candidates.Inc()
 		a := AnalyzeBlock(ctx, b, cfg)
 		if a.Stable && a.State == desired {
+			tel.Counter("core.search.found").Inc()
+			tel.Span(ctx.TID(), "attack", "block-search", start, ctx.Core().Clock(),
+				map[string]any{"candidates": i + 1, "state": desired.String()})
 			return b, a, nil
 		}
 	}
+	tel.Counter("core.search.exhausted").Inc()
+	tel.Span(ctx.TID(), "attack", "block-search", start, ctx.Core().Clock(),
+		map[string]any{"candidates": maxCandidates, "state": "none"})
 	return nil, BlockAnalysis{}, fmt.Errorf(
 		"core: no stable randomization block reaching state %v in %d candidates (target %#x)",
 		desired, maxCandidates, cfg.TargetAddr)

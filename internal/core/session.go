@@ -5,6 +5,7 @@ import (
 
 	"branchscope/internal/cpu"
 	"branchscope/internal/rng"
+	"branchscope/internal/telemetry"
 )
 
 // AttackConfig parameterizes a BranchScope attack session.
@@ -37,6 +38,75 @@ type Session struct {
 	block    *Block
 	analysis BlockAnalysis
 	detector *TimingDetector
+	tel      *sessionTel
+}
+
+// sessionTel caches the per-session telemetry handles (nil when the
+// spy's core has no telemetry attached). Episode instrumentation is the
+// observable heart of the attack: one span per prime–step–probe episode
+// with per-stage children, cycle-cost histograms per stage, and the
+// MM/MH/HM/HH pattern distribution the paper's Table 1 decodes.
+type sessionTel struct {
+	set      *telemetry.Set
+	tid      int
+	episodes *telemetry.Counter
+	patterns [4]*telemetry.Counter // indexed by patternIndex order
+	prime    *telemetry.Histogram
+	step     *telemetry.Histogram
+	probe    *telemetry.Histogram
+	episode  *telemetry.Histogram
+}
+
+// sessionCycleBuckets spans ~64 cycles (a bare probe) to ~2M cycles
+// (an episode with heavy noise and SGX world switches).
+func sessionCycleBuckets() []uint64 { return telemetry.ExpBuckets(64, 2, 16) }
+
+func newSessionTel(set *telemetry.Set, spy *cpu.Context) *sessionTel {
+	t := &sessionTel{
+		set:      set,
+		tid:      spy.TID(),
+		episodes: set.Counter("core.episodes"),
+		prime:    set.Histogram("core.cycles.prime", sessionCycleBuckets()),
+		step:     set.Histogram("core.cycles.step", sessionCycleBuckets()),
+		probe:    set.Histogram("core.cycles.probe", sessionCycleBuckets()),
+		episode:  set.Histogram("core.cycles.episode", sessionCycleBuckets()),
+	}
+	for i, p := range []Pattern{PatternHH, PatternHM, PatternMH, PatternMM} {
+		t.patterns[i] = set.Counter("core.patterns." + string(p))
+	}
+	return t
+}
+
+// patternIndex maps a pattern to its counter slot.
+func patternIndex(p Pattern) int {
+	switch p {
+	case PatternHH:
+		return 0
+	case PatternHM:
+		return 1
+	case PatternMH:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// observeEpisode records one episode's metrics and trace spans. The
+// timestamps are core clock readings at the stage boundaries.
+func (t *sessionTel) observeEpisode(t0, t1, t2, t3 uint64, p Pattern, bit bool) {
+	t.episodes.Inc()
+	t.patterns[patternIndex(p)].Inc()
+	t.prime.Observe(t1 - t0)
+	t.step.Observe(t2 - t1)
+	t.probe.Observe(t3 - t2)
+	t.episode.Observe(t3 - t0)
+	t.set.Span(t.tid, "attack", "episode", t0, t3, nil)
+	t.set.Span(t.tid, "attack", "prime", t0, t1, nil)
+	t.set.Span(t.tid, "attack", "step", t1, t2, nil)
+	t.set.Span(t.tid, "attack", "probe", t2, t3, nil)
+	t.set.Instant(t.tid, "attack", "decode", t3, map[string]any{
+		"pattern": string(p), "bit": bit,
+	})
 }
 
 // NewSession performs the one-time pre-attack work (block search, and
@@ -52,6 +122,9 @@ func NewSession(spy *cpu.Context, r *rng.Source, cfg AttackConfig) (*Session, er
 		return nil, err
 	}
 	s := &Session{spy: spy, cfg: cfg, block: block, analysis: analysis}
+	if set := spy.Core().Telemetry(); set != nil {
+		s.tel = newSessionTel(set, spy)
+	}
 	if cfg.UseTiming {
 		reps := cfg.TimingCalibrationReps
 		if reps == 0 {
@@ -102,8 +175,29 @@ type Stepper interface {
 // prime, let the victim execute exactly one branch, probe, decode. before
 // and after, when non-nil, run between the stages (noise injection
 // points). It returns the inferred direction of the victim's branch.
+//
+// With telemetry attached to the spy's core, each episode emits an
+// "episode" span with prime/step/probe children and a "decode" instant
+// on the spy's trace timeline, and feeds the episode counters, pattern
+// distribution and per-stage cycle histograms. The step stage includes
+// the surrounding noise-injection callbacks — it is the paper's "window
+// in which the victim runs" (§7).
 func (s *Session) SpyBit(victim Stepper, before, after func()) bool {
+	if s.tel == nil {
+		s.Prime()
+		if before != nil {
+			before()
+		}
+		victim.StepBranches(1)
+		if after != nil {
+			after()
+		}
+		return DecodeBit(s.Probe())
+	}
+	clk := s.spy.Core()
+	t0 := clk.Clock()
 	s.Prime()
+	t1 := clk.Clock()
 	if before != nil {
 		before()
 	}
@@ -111,5 +205,10 @@ func (s *Session) SpyBit(victim Stepper, before, after func()) bool {
 	if after != nil {
 		after()
 	}
-	return DecodeBit(s.Probe())
+	t2 := clk.Clock()
+	p := s.Probe()
+	t3 := clk.Clock()
+	bit := DecodeBit(p)
+	s.tel.observeEpisode(t0, t1, t2, t3, p, bit)
+	return bit
 }

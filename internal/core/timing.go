@@ -46,6 +46,11 @@ func CalibrateTiming(ctx *cpu.Context, scratch uint64, reps int) *TimingDetector
 	if reps <= 0 {
 		reps = 2000
 	}
+	tel := ctx.Core().Telemetry()
+	var start uint64
+	if tel != nil {
+		start = ctx.Core().Clock()
+	}
 	hits := make([]uint64, 0, reps)
 	misses := make([]uint64, 0, reps)
 	for i := 0; i < reps; i++ {
@@ -75,5 +80,13 @@ func CalibrateTiming(ctx *cpu.Context, scratch uint64, reps int) *TimingDetector
 	// tailed (interrupt spikes), so means overestimate the typical
 	// sample and would bias the boundary toward misses.
 	d.Threshold = uint64((stats.MedianUint64(hits) + stats.MedianUint64(misses)) / 2)
+	if tel != nil {
+		tel.Gauge("core.timing.hit_mean_cycles").Set(d.HitMean)
+		tel.Gauge("core.timing.miss_mean_cycles").Set(d.MissMean)
+		tel.Gauge("core.timing.threshold_cycles").Set(float64(d.Threshold))
+		tel.Counter("core.timing.calibrations").Inc()
+		tel.Span(ctx.TID(), "attack", "timing-calibration", start, ctx.Core().Clock(),
+			map[string]any{"reps": reps})
+	}
 	return d
 }

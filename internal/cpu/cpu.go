@@ -16,6 +16,7 @@ import (
 
 	"branchscope/internal/bpu"
 	"branchscope/internal/rng"
+	"branchscope/internal/telemetry"
 )
 
 // Event identifies a hardware performance counter.
@@ -127,6 +128,20 @@ type Core struct {
 	clock   uint64
 	icache  [ICacheLines]icacheEntry
 	rnd     *rng.Source
+	tel     *telemetry.Set
+	ctr     coreCounters
+}
+
+// coreCounters caches the core-wide metric handles. All fields are nil
+// when telemetry is disabled, collapsing every update to an inlined nil
+// check on the retire paths.
+type coreCounters struct {
+	instructions *telemetry.Counter
+	branches     *telemetry.Counter
+	misses       *telemetry.Counter
+	allocations  *telemetry.Counter
+	btbMisses    *telemetry.Counter
+	icacheMisses *telemetry.Counter
 }
 
 // NewCore builds a core around a BPU configuration.
@@ -137,6 +152,27 @@ func NewCore(cfg bpu.Config, timing Timing, seed uint64) *Core {
 		rnd:     rng.New(seed),
 	}
 }
+
+// SetTelemetry attaches a telemetry set to the core (nil detaches).
+// Call it before creating contexts: a context captures its per-context
+// instrument handles at creation time. Disabled telemetry costs one
+// inlined nil check per retired operation, keeping hot paths intact.
+func (c *Core) SetTelemetry(t *telemetry.Set) {
+	c.tel = t
+	c.ctr = coreCounters{
+		instructions: t.Counter("cpu.instructions"),
+		branches:     t.Counter("cpu.branches"),
+		misses:       t.Counter("cpu.branch_misses"),
+		allocations:  t.Counter("cpu.branch_allocations"),
+		btbMisses:    t.Counter("cpu.btb_misses"),
+		icacheMisses: t.Counter("cpu.icache_misses"),
+	}
+}
+
+// Telemetry returns the attached telemetry set (nil when disabled).
+// Layers above the CPU (scheduler, attack sessions) pick their sink up
+// from here so one SetTelemetry call instruments the whole machine.
+func (c *Core) Telemetry() *telemetry.Set { return c.tel }
 
 // BPU exposes the core's branch prediction unit for white-box tests and
 // mitigation configuration (MarkSensitive). Attack code must not use it.
@@ -156,6 +192,7 @@ func (c *Core) icacheAccess(domain, addr uint64) uint64 {
 	if e.valid && e.domain == domain && e.line == line {
 		return 0
 	}
+	c.ctr.icacheMisses.Inc()
 	*e = icacheEntry{valid: true, domain: domain, line: line}
 	span := c.timing.ICacheMissMax - c.timing.ICacheMissMin
 	if span == 0 {
@@ -217,6 +254,12 @@ type Context struct {
 	domain uint64
 	pmc    [numEvents]uint64
 	hook   Hook
+
+	// tid is the trace thread id (0 when telemetry is disabled);
+	// tscReads/pmcReads are the per-context counter-read metrics.
+	tid      int
+	tscReads *telemetry.Counter
+	pmcReads *telemetry.Counter
 }
 
 // NewContext creates a hardware context on the core for the given
@@ -225,8 +268,19 @@ type Context struct {
 // processes have different domains yet share the BPU — the paper's threat
 // model.
 func (c *Core) NewContext(domain uint64) *Context {
-	return &Context{core: c, domain: domain}
+	x := &Context{core: c, domain: domain}
+	if c.tel != nil {
+		x.tid = c.tel.NewThreadID()
+		x.tscReads = c.tel.Counter(fmt.Sprintf("cpu.ctx%d.tsc_reads", x.tid))
+		x.pmcReads = c.tel.Counter(fmt.Sprintf("cpu.ctx%d.pmc_reads", x.tid))
+	}
+	return x
 }
+
+// TID returns the context's trace thread identifier (0 when the core
+// had no telemetry attached at context creation). Spans emitted for
+// work on this context use it as their Chrome-trace tid.
+func (x *Context) TID() int { return x.tid }
 
 // Domain returns the context's security domain identifier.
 func (x *Context) Domain() uint64 { return x.domain }
@@ -266,17 +320,22 @@ func (x *Context) BranchTo(addr uint64, taken bool, target uint64) {
 	if l.Taken != taken {
 		cost += c.timing.MispredictPenalty
 		x.pmc[BranchMisses]++
+		c.ctr.misses.Inc()
 	}
 	if taken && !l.BTBHit {
 		cost += c.timing.BTBMissPenalty
+		c.ctr.btbMisses.Inc()
 	}
 	cost += c.jitter()
 	if c.bpuUnit.Commit(l, taken, target) {
 		x.pmc[BranchAllocations]++
+		c.ctr.allocations.Inc()
 	}
 	c.clock += cost
 	x.pmc[Instructions]++
 	x.pmc[BranchInstructions]++
+	c.ctr.instructions.Inc()
+	c.ctr.branches.Inc()
 	x.retire(true)
 }
 
@@ -288,6 +347,7 @@ func (x *Context) Nop(addr uint64) {
 	cost := c.timing.BaseInstr + c.icacheAccess(x.domain, addr)
 	c.clock += cost
 	x.pmc[Instructions]++
+	c.ctr.instructions.Inc()
 	x.retire(false)
 }
 
@@ -296,6 +356,7 @@ func (x *Context) Nop(addr uint64) {
 // instruction counter.
 func (x *Context) Work(n uint64) {
 	c := x.core
+	c.ctr.instructions.Add(n)
 	for i := uint64(0); i < n; i++ {
 		c.clock += c.timing.BaseInstr
 		x.pmc[Instructions]++
@@ -308,6 +369,8 @@ func (x *Context) Work(n uint64) {
 func (x *Context) ReadTSC() uint64 {
 	x.core.clock += x.core.timing.TSCOverhead
 	x.pmc[Instructions]++
+	x.core.ctr.instructions.Inc()
+	x.tscReads.Inc()
 	t := x.core.clock
 	x.retire(false)
 	return t
@@ -320,5 +383,6 @@ func (x *Context) ReadPMC(e Event) uint64 {
 	if e < 0 || e >= numEvents {
 		panic(fmt.Sprintf("cpu: invalid PMC event %d", int(e)))
 	}
+	x.pmcReads.Inc()
 	return x.pmc[e]
 }

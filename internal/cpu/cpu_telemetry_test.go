@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"testing"
+
+	"branchscope/internal/telemetry"
+)
+
+// TestCoreTelemetryCounters cross-checks the core-wide retire metrics
+// against the architectural PMCs, and the per-context TSC/PMC read
+// counters.
+func TestCoreTelemetryCounters(t *testing.T) {
+	c := testCore()
+	set := telemetry.New(telemetry.NewRegistry(), nil)
+	c.SetTelemetry(set)
+	if c.Telemetry() != set {
+		t.Fatal("Telemetry() did not return the attached set")
+	}
+	x := c.NewContext(1)
+	y := c.NewContext(2)
+	if x.TID() == 0 || y.TID() == 0 || x.TID() == y.TID() {
+		t.Fatalf("bad tids %d, %d", x.TID(), y.TID())
+	}
+
+	for i := 0; i < 6; i++ {
+		x.Branch(0x100, true)
+	}
+	x.Nop(0x200)
+	x.Work(3)
+	x.ReadTSC()
+	x.ReadTSC()
+	x.ReadPMC(BranchMisses)
+	y.ReadTSC()
+
+	reg := set.Metrics
+	wantInstr := x.ReadPMC(Instructions) + y.ReadPMC(Instructions)
+	if got := reg.Counter("cpu.instructions").Value(); got != wantInstr {
+		t.Errorf("cpu.instructions = %d, want %d (PMC sum)", got, wantInstr)
+	}
+	if got := reg.Counter("cpu.branches").Value(); got != 6 {
+		t.Errorf("cpu.branches = %d, want 6", got)
+	}
+	if got, want := reg.Counter("cpu.branch_misses").Value(), x.ReadPMC(BranchMisses); got != want {
+		t.Errorf("cpu.branch_misses = %d, want %d (PMC)", got, want)
+	}
+	if reg.Counter("cpu.icache_misses").Value() == 0 {
+		t.Error("no icache misses recorded for cold code")
+	}
+	name := func(tid int, suffix string) string {
+		return "cpu.ctx" + string(rune('0'+tid)) + "." + suffix
+	}
+	if got := reg.Counter(name(x.TID(), "tsc_reads")).Value(); got != 2 {
+		t.Errorf("spy tsc_reads = %d, want 2", got)
+	}
+	if got := reg.Counter(name(y.TID(), "tsc_reads")).Value(); got != 1 {
+		t.Errorf("sibling tsc_reads = %d, want 1", got)
+	}
+	if reg.Counter(name(x.TID(), "pmc_reads")).Value() == 0 {
+		t.Error("pmc_reads not recorded")
+	}
+}
+
+// TestTelemetryDisabledIsInert pins the nil fast path on the retire
+// paths: no telemetry, no tids, no panics, PMCs unaffected.
+func TestTelemetryDisabledIsInert(t *testing.T) {
+	c := testCore()
+	x := c.NewContext(1)
+	if x.TID() != 0 {
+		t.Error("tid allocated without telemetry")
+	}
+	x.Branch(0x100, true)
+	x.Nop(0x200)
+	x.Work(2)
+	x.ReadTSC()
+	if got := x.ReadPMC(Instructions); got != 5 {
+		t.Errorf("Instructions PMC = %d, want 5", got)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"branchscope/internal/core"
 	"branchscope/internal/cpu"
@@ -10,9 +11,28 @@ import (
 	"branchscope/internal/sched"
 	"branchscope/internal/sgx"
 	"branchscope/internal/stats"
+	"branchscope/internal/telemetry"
 	"branchscope/internal/uarch"
 	"branchscope/internal/victims"
 )
+
+// defaultTelemetry is the process-wide telemetry set picked up by
+// experiment runs whose config carries none. cmd/experiments installs
+// one at startup so every covert-channel cell it regenerates reports
+// through a single registry.
+var defaultTelemetry atomic.Pointer[telemetry.Set]
+
+// SetDefaultTelemetry installs (or, with nil, removes) the process-wide
+// telemetry set used when a config's Telemetry field is nil.
+func SetDefaultTelemetry(t *telemetry.Set) {
+	defaultTelemetry.Store(t)
+}
+
+// DefaultTelemetry returns the process-wide telemetry set (nil when
+// none is installed).
+func DefaultTelemetry() *telemetry.Set {
+	return defaultTelemetry.Load()
+}
 
 // Setting is the paper's system-noise configuration (§7).
 type Setting int
@@ -98,6 +118,11 @@ type CovertConfig struct {
 	// SpyHook, when non-nil, receives the spy's hardware context right
 	// after creation (tracing and detection harnesses attach here).
 	SpyHook func(*cpu.Context)
+	// Telemetry, when non-nil, instruments every simulated machine the
+	// measurement boots (falling back to the process-wide default set;
+	// see SetDefaultTelemetry). Metrics and traces record simulated
+	// cycles only, so exports are deterministic per seed.
+	Telemetry *telemetry.Set
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -151,21 +176,36 @@ func RunCovert(cfg CovertConfig) CovertResult {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 3
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = DefaultTelemetry()
+	}
 	root := rng.New(cfg.Seed ^ 0xc0de)
 	res := CovertResult{Config: cfg}
 	for run := 0; run < cfg.Runs; run++ {
 		res.PerRun = append(res.PerRun, runCovertOnce(cfg, root.Split(), &res))
 	}
 	res.ErrorRate = stats.Mean(res.PerRun)
+	cfg.Telemetry.Gauge("covert.error_rate").Set(res.ErrorRate)
 	return res
 }
 
 func runCovertOnce(cfg CovertConfig, r *rng.Source, res *CovertResult) float64 {
+	tel := cfg.Telemetry
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
+	if tel != nil {
+		sys.SetTelemetry(tel)
+	}
+	tel.Counter("covert.runs").Inc()
+	// Simulated cycles accumulate across runs; wall time is deliberately
+	// absent so metric exports stay reproducible per seed.
+	defer func() {
+		tel.Counter("covert.simulated_cycles").Add(sys.Core().Clock())
+	}()
 	if cfg.Prepare != nil {
 		cfg.Prepare(sys)
 	}
 	secret := cfg.Pattern.Bits(cfg.Bits, r)
+	tel.Counter("covert.bits").Add(uint64(len(secret)))
 
 	// The sender.
 	var victim core.Stepper
@@ -187,11 +227,15 @@ func runCovertOnce(cfg CovertConfig, r *rng.Source, res *CovertResult) float64 {
 		noiseThread = sys.Spawn("noise", noise.Process(r.Uint64(), noise.DefaultRegion, 1<<22))
 		defer noiseThread.Kill()
 	}
+	noiseInjections := tel.Counter("covert.noise_injections")
 	stepNoise := func(n int) func() {
 		if noiseThread == nil || n <= 0 {
 			return nil
 		}
-		return func() { noiseThread.Step(n) }
+		return func() {
+			noiseInjections.Inc()
+			noiseThread.Step(n)
+		}
 	}
 
 	spy := sys.NewProcess("spy")
@@ -206,6 +250,7 @@ func runCovertOnce(cfg CovertConfig, r *rng.Source, res *CovertResult) float64 {
 		// The channel could not be established: the attacker is
 		// reduced to guessing.
 		res.SetupFailed++
+		tel.Counter("covert.setup_failures").Inc()
 		return 0.5
 	}
 

@@ -22,6 +22,7 @@ import (
 
 	"branchscope/internal/cpu"
 	"branchscope/internal/rng"
+	"branchscope/internal/telemetry"
 	"branchscope/internal/uarch"
 )
 
@@ -33,6 +34,18 @@ type System struct {
 	core       *cpu.Core
 	rnd        *rng.Source
 	nextDomain uint64
+	tel        *telemetry.Set
+	ctr        sysCounters
+}
+
+// sysCounters caches the scheduler's metric handles (all nil when
+// telemetry is disabled).
+type sysCounters struct {
+	processes *telemetry.Counter
+	spawns    *telemetry.Counter
+	steps     *telemetry.Counter
+	switches  *telemetry.Counter
+	kills     *telemetry.Counter
 }
 
 // NewSystem boots a machine of the given model. All randomness in the
@@ -48,6 +61,26 @@ func NewSystem(model uarch.Model, seed uint64) *System {
 	}
 }
 
+// SetTelemetry attaches a telemetry set to the machine: the core's
+// retire paths, the scheduler's bookkeeping and every layer above
+// (attack sessions, SGX) pick it up from here. Call it right after
+// NewSystem, before any process exists — contexts and threads capture
+// their handles at creation time.
+func (s *System) SetTelemetry(t *telemetry.Set) {
+	s.tel = t
+	s.core.SetTelemetry(t)
+	s.ctr = sysCounters{
+		processes: t.Counter("sched.processes"),
+		spawns:    t.Counter("sched.spawns"),
+		steps:     t.Counter("sched.steps"),
+		switches:  t.Counter("sched.context_switches"),
+		kills:     t.Counter("sched.kills"),
+	}
+}
+
+// Telemetry returns the machine's telemetry set (nil when disabled).
+func (s *System) Telemetry() *telemetry.Set { return s.tel }
+
 // Model returns the machine's microarchitecture model.
 func (s *System) Model() uarch.Model { return s.model }
 
@@ -62,10 +95,12 @@ func (s *System) Rand() *rng.Source { return s.rnd }
 // goroutine runs the process directly; use Spawn for a steppable
 // coroutine process instead.
 func (s *System) NewProcess(name string) *cpu.Context {
-	_ = name // names exist for symmetry with Spawn; contexts are anonymous
 	d := s.nextDomain
 	s.nextDomain++
-	return s.core.NewContext(d)
+	ctx := s.core.NewContext(d)
+	s.ctr.processes.Inc()
+	s.tel.NameThread(ctx.TID(), name)
+	return ctx
 }
 
 // grant is one scheduling quantum: budgets in retired instructions and
@@ -93,6 +128,12 @@ type Thread struct {
 
 	// Owned by the thread goroutine while running.
 	budget grant
+
+	// tel/steps/switches are captured from the System at spawn time
+	// (nil when telemetry is disabled).
+	tel      *telemetry.Set
+	steps    *telemetry.Counter
+	switches *telemetry.Counter
 }
 
 // Spawn creates a process executing fn on a fresh context and returns its
@@ -105,7 +146,11 @@ func (s *System) Spawn(name string, fn func(*cpu.Context)) *Thread {
 		resume:   make(chan grant),
 		paused:   make(chan struct{}),
 		finished: make(chan struct{}),
+		tel:      s.tel,
+		steps:    s.ctr.steps,
+		switches: s.ctr.switches,
 	}
+	s.ctr.spawns.Inc()
 	t.ctx.SetHook(t.onRetire)
 	go func() {
 		defer close(t.finished)
@@ -145,19 +190,36 @@ func (t *Thread) onRetire(isBranch bool) {
 }
 
 // step grants a quantum and blocks until the thread pauses or finishes.
-// It reports whether the thread is still alive.
+// It reports whether the thread is still alive. With telemetry attached
+// it counts the dispatch (a context switch in and back out) and emits
+// one "quantum" span per grant on the thread's trace timeline, covering
+// the cycles the thread actually ran.
 func (t *Thread) step(g grant) bool {
-	select {
-	case <-t.finished:
-		return false
-	case t.resume <- g:
+	var start uint64
+	if t.tel != nil {
+		t.steps.Inc()
+		t.switches.Add(2)
+		start = t.ctx.Core().Clock()
 	}
-	select {
-	case <-t.paused:
-		return true
-	case <-t.finished:
-		return false
+	alive := func() bool {
+		select {
+		case <-t.finished:
+			return false
+		case t.resume <- g:
+		}
+		select {
+		case <-t.paused:
+			return true
+		case <-t.finished:
+			return false
+		}
+	}()
+	if t.tel != nil {
+		if end := t.ctx.Core().Clock(); end > start {
+			t.tel.Span(t.ctx.TID(), "sched", "quantum", start, end, nil)
+		}
 	}
+	return alive
 }
 
 // Step runs the thread for exactly n retired instructions (of any kind).
@@ -199,6 +261,9 @@ func (t *Thread) Kill() {
 	case t.resume <- grant{kill: true}:
 	}
 	<-t.finished
+	if t.tel != nil {
+		t.tel.Counter("sched.kills").Inc()
+	}
 }
 
 // Finished reports whether the thread's function has returned.
@@ -243,6 +308,13 @@ func Interleave(rnd *rng.Source, threads []*Thread, weights []int, total int) {
 		return
 	}
 	const slice = 16 // instructions per mini-quantum
+	var slices *telemetry.Counter
+	for _, t := range threads {
+		if t.tel != nil {
+			slices = t.tel.Counter("sched.interleave_slices")
+			break
+		}
+	}
 	remaining := total
 	alive := len(threads)
 	for remaining > 0 && alive > 0 {
@@ -260,6 +332,7 @@ func Interleave(rnd *rng.Source, threads []*Thread, weights []int, total int) {
 		if n > remaining {
 			n = remaining
 		}
+		slices.Inc()
 		if !t.Step(n) {
 			alive = 0
 			for _, th := range threads {

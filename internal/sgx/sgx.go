@@ -25,6 +25,7 @@ package sgx
 import (
 	"branchscope/internal/cpu"
 	"branchscope/internal/sched"
+	"branchscope/internal/telemetry"
 )
 
 // AEXCycles approximates the cost of one asynchronous enclave exit plus
@@ -37,21 +38,47 @@ const AEXCycles = 7000
 type Enclave struct {
 	thread *sched.Thread
 	kernel *cpu.Context
+
+	// Telemetry handles, captured from the system at launch (nil when
+	// disabled).
+	tel         *telemetry.Set
+	entries     *telemetry.Counter
+	exits       *telemetry.Counter
+	singleSteps *telemetry.Counter
+	instrSteps  *telemetry.Counter
 }
 
 // Launch creates an enclave running fn on the system. The returned
 // enclave starts suspended; the (attacker-controlled) OS resumes it via
 // the stepping methods.
 func Launch(sys *sched.System, name string, fn func(*cpu.Context)) *Enclave {
-	return &Enclave{
+	e := &Enclave{
 		thread: sys.Spawn("enclave:"+name, fn),
 		kernel: sys.Core().NewContext(0), // domain 0: the kernel
+		tel:    sys.Telemetry(),
 	}
+	e.tel.Counter("sgx.enclaves").Inc()
+	e.tel.NameThread(e.kernel.TID(), "kernel(sgx)")
+	e.entries = e.tel.Counter("sgx.enclave_entries")
+	e.exits = e.tel.Counter("sgx.enclave_exits")
+	e.singleSteps = e.tel.Counter("sgx.single_steps")
+	e.instrSteps = e.tel.Counter("sgx.instruction_steps")
+	return e
 }
 
-// aex charges the world-switch overhead of one forced interrupt.
+// aex charges the world-switch overhead of one forced interrupt and, with
+// telemetry attached, records the exit and an "aex+eresume" span on the
+// kernel's trace timeline.
 func (e *Enclave) aex() {
+	var start uint64
+	if e.tel != nil {
+		start = e.kernel.Core().Clock()
+	}
 	e.kernel.Work(AEXCycles)
+	if e.tel != nil {
+		e.exits.Inc()
+		e.tel.Span(e.kernel.TID(), "sgx", "aex+eresume", start, e.kernel.Core().Clock(), nil)
+	}
 }
 
 // StepBranches resumes the enclave until k conditional branches have
@@ -60,6 +87,8 @@ func (e *Enclave) aex() {
 // core.Stepper, so an Enclave can be attacked exactly like a regular
 // process — which is the point of §9.
 func (e *Enclave) StepBranches(k int) bool {
+	e.entries.Inc()
+	e.singleSteps.Inc()
 	alive := e.thread.StepBranches(k)
 	e.aex()
 	return alive
@@ -69,6 +98,8 @@ func (e *Enclave) StepBranches(k int) bool {
 // interrupts it (page-fault stepping: the OS unmaps a page to force an
 // exit, §9.2).
 func (e *Enclave) StepInstructions(n int) bool {
+	e.entries.Inc()
+	e.instrSteps.Inc()
 	alive := e.thread.Step(n)
 	e.aex()
 	return alive

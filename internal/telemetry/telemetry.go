@@ -1,0 +1,134 @@
+// Package telemetry is the observability layer of the simulator: a
+// metrics registry (counters, gauges, cycle histograms) with
+// deterministic text and JSON export, and a span/event tracer that emits
+// Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled. Every entry point is nil-safe: a nil
+//     *Registry hands out nil instruments, and every method on a nil
+//     instrument, *Tracer or *Set is a no-op. Instrumented code holds
+//     plain handles and calls through them unconditionally; with
+//     telemetry disabled each call collapses to an inlined nil check,
+//     leaving the simulator's hot paths (cpu.Context.Branch and friends)
+//     unaffected.
+//
+//  2. Determinism. Simulated metrics and trace timestamps record cycle
+//     counts, never wall-clock time, and exports order every metric by
+//     name and every trace event by emission order — so for a fixed seed
+//     the exported bytes are identical run to run. (Wall-time gauges
+//     exist for the experiment harness, but nothing inside the simulated
+//     machine touches a wall clock.)
+//
+//  3. Race safety. Instruments use atomics throughout and the tracer
+//     locks on append, so concurrent contexts may increment the same
+//     counter under the race detector.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Set bundles the two telemetry sinks an instrumented component needs: a
+// metrics registry and a tracer. Either (or the whole Set) may be nil;
+// all methods degrade to no-ops. A Set also allocates the trace thread
+// identifiers (tids) that tie spans to simulated hardware contexts.
+type Set struct {
+	// Metrics is the metrics registry (nil disables metrics).
+	Metrics *Registry
+	// Trace is the span/event tracer (nil disables tracing).
+	Trace *Tracer
+
+	nextTID atomic.Int64
+}
+
+// New bundles a registry and a tracer into a Set. Both arguments may be
+// nil.
+func New(metrics *Registry, trace *Tracer) *Set {
+	return &Set{Metrics: metrics, Trace: trace}
+}
+
+// Counter returns the named counter, or nil on a nil Set or registry.
+func (s *Set) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge, or nil on a nil Set or registry.
+func (s *Set) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram, or nil on a nil Set or
+// registry. See Registry.Histogram for bucket semantics.
+func (s *Set) Histogram(name string, bounds []uint64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name, bounds)
+}
+
+// NewThreadID allocates a trace thread identifier, unique within the
+// Set. IDs start at 1; 0 (a nil Set's answer) means "untracked".
+func (s *Set) NewThreadID() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.nextTID.Add(1))
+}
+
+// NameThread records a human-readable name for a thread id in the trace
+// (Perfetto shows it as the track title).
+func (s *Set) NameThread(tid int, name string) {
+	if s == nil {
+		return
+	}
+	s.Trace.ThreadName(tid, name)
+}
+
+// Span records a completed span on the tracer (no-op when disabled).
+func (s *Set) Span(tid int, cat, name string, start, end uint64, args map[string]any) {
+	if s == nil {
+		return
+	}
+	s.Trace.Complete(tid, cat, name, start, end, args)
+}
+
+// Instant records an instant event on the tracer (no-op when disabled).
+func (s *Set) Instant(tid int, cat, name string, ts uint64, args map[string]any) {
+	if s == nil {
+		return
+	}
+	s.Trace.Instant(tid, cat, name, ts, args)
+}
+
+// ExpBuckets returns n exponentially spaced histogram bucket upper
+// bounds starting at start and growing by factor, each bound strictly
+// greater than the previous. It is the standard bucket layout for cycle
+// histograms, whose interesting values span orders of magnitude.
+func ExpBuckets(start uint64, factor float64, n int) []uint64 {
+	if n <= 0 || factor <= 1 {
+		panic(fmt.Sprintf("telemetry: ExpBuckets(%d, %g, %d): need n > 0 and factor > 1", start, factor, n))
+	}
+	bounds := make([]uint64, 0, n)
+	v := float64(start)
+	var last uint64
+	for i := 0; i < n; i++ {
+		b := uint64(math.Round(v))
+		if b <= last {
+			b = last + 1
+		}
+		bounds = append(bounds, b)
+		last = b
+		v *= factor
+	}
+	return bounds
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Trace-event phase constants (the Chrome trace-event format's "ph"
+// field) used by the tracer.
+const (
+	// PhaseComplete is a span with a start timestamp and a duration.
+	PhaseComplete = "X"
+	// PhaseInstant is a point event.
+	PhaseInstant = "i"
+	// PhaseMetadata carries naming metadata (thread names).
+	PhaseMetadata = "M"
+)
+
+// tracePID is the constant "process id" under which all simulated
+// threads are filed; the simulation is one machine.
+const tracePID = 1
+
+// TraceEvent is one Chrome trace-event record. Timestamps and durations
+// are simulated cycle counts; the viewer renders them as microseconds
+// (1 cycle = 1 µs), which only rescales the axis since everything in a
+// trace shares the unit.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer accumulates trace events in emission order. The nil tracer is
+// valid and drops everything. Appends are mutex-serialized, so
+// concurrently running contexts may trace; within the simulator's
+// strict-handoff scheduling the resulting order is deterministic.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func (t *Tracer) append(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Complete records a completed span [start, end] on thread tid. An end
+// before start is clamped to a zero duration.
+func (t *Tracer) Complete(tid int, cat, name string, start, end uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	var dur uint64
+	if end > start {
+		dur = end - start
+	}
+	t.append(TraceEvent{
+		Name: name, Cat: cat, Phase: PhaseComplete,
+		TS: start, Dur: dur, PID: tracePID, TID: tid, Args: args,
+	})
+}
+
+// Instant records a point event at ts on thread tid.
+func (t *Tracer) Instant(tid int, cat, name string, ts uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: name, Cat: cat, Phase: PhaseInstant,
+		TS: ts, PID: tracePID, TID: tid, Scope: "t", Args: args,
+	})
+}
+
+// ThreadName records naming metadata for a thread id.
+func (t *Tracer) ThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: "thread_name", Phase: PhaseMetadata,
+		PID: tracePID, TID: tid, Args: map[string]any{"name": name},
+	})
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// traceDoc is the JSON-object form of the Chrome trace format (the
+// array form is also legal, but the object form carries metadata).
+type traceDoc struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteJSON writes the trace as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing. A nil tracer writes an empty trace. The
+// output is byte-deterministic for identical event sequences.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := traceDoc{
+		TraceEvents:     t.Events(),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"clock": "simulated cycles (1 cycle rendered as 1us)",
+		},
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []TraceEvent{}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTraceJSONRoundTrip writes a small trace and decodes it back with
+// encoding/json, checking the Chrome trace-event fields (ph/ts/dur) and
+// document shape Perfetto expects.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.ThreadName(1, "spy")
+	tr.Complete(1, "attack", "episode", 100, 450, nil)
+	tr.Complete(1, "attack", "prime", 100, 300, map[string]any{"branches": 96})
+	tr.Instant(1, "attack", "decode", 450, map[string]any{"bit": true})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("decoded %d events, want 4", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != PhaseMetadata || meta.Name != "thread_name" || meta.Args["name"] != "spy" {
+		t.Errorf("bad thread metadata event: %+v", meta)
+	}
+	ep := doc.TraceEvents[1]
+	if ep.Ph != PhaseComplete || ep.TS != 100 || ep.Dur != 350 || ep.TID != 1 {
+		t.Errorf("bad span: %+v", ep)
+	}
+	prime := doc.TraceEvents[2]
+	if prime.Dur != 200 || prime.Args["branches"] != float64(96) {
+		t.Errorf("bad prime span: %+v", prime)
+	}
+	in := doc.TraceEvents[3]
+	if in.Ph != PhaseInstant || in.TS != 450 || in.Args["bit"] != true {
+		t.Errorf("bad instant: %+v", in)
+	}
+}
+
+func TestTraceClampsNegativeDuration(t *testing.T) {
+	tr := NewTracer()
+	tr.Complete(1, "c", "backwards", 50, 40, nil)
+	if ev := tr.Events()[0]; ev.Dur != 0 {
+		t.Errorf("dur = %d, want clamped 0", ev.Dur)
+	}
+}
+
+func TestTraceDeterministicBytes(t *testing.T) {
+	build := func() []byte {
+		tr := NewTracer()
+		tr.ThreadName(2, "sender")
+		tr.Complete(2, "sched", "quantum", 0, 10, map[string]any{"b": 1, "a": 2})
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("identical traces serialized differently")
+	}
+}
+
+func TestSetThreadIDsAndForwarding(t *testing.T) {
+	set := New(NewRegistry(), NewTracer())
+	if id1, id2 := set.NewThreadID(), set.NewThreadID(); id1 != 1 || id2 != 2 {
+		t.Errorf("thread ids = %d, %d; want 1, 2", id1, id2)
+	}
+	set.NameThread(1, "spy")
+	set.Span(1, "c", "s", 0, 5, nil)
+	set.Instant(1, "c", "i", 5, nil)
+	if got := set.Trace.Len(); got != 3 {
+		t.Errorf("tracer has %d events, want 3", got)
+	}
+	set.Counter("k").Inc()
+	if set.Metrics.Counter("k").Value() != 1 {
+		t.Error("Set.Counter did not reach the registry")
+	}
+}

@@ -31,10 +31,12 @@ type Event struct {
 
 // Recorder captures events from one context into a bounded ring.
 type Recorder struct {
-	ctx  *cpu.Context
-	ring []Event
-	next int
-	full bool
+	ctx      *cpu.Context
+	ring     []Event
+	next     int
+	full     bool
+	prev     cpu.Hook
+	detached bool
 
 	instr      uint64
 	branches   uint64
@@ -53,14 +55,35 @@ func Attach(ctx *cpu.Context, capacity int) *Recorder {
 	}
 	r := &Recorder{ctx: ctx, ring: make([]Event, capacity)}
 	r.lastMisses = ctx.ReadPMC(cpu.BranchMisses)
-	prev := ctx.Hook()
+	r.prev = ctx.Hook()
 	ctx.SetHook(func(isBranch bool) {
+		if r.detached {
+			if r.prev != nil {
+				r.prev(isBranch)
+			}
+			return
+		}
 		r.record(isBranch)
-		if prev != nil {
-			prev(isBranch)
+		if r.prev != nil {
+			r.prev(isBranch)
 		}
 	})
 	return r
+}
+
+// Detach stops recording and restores the hook chain that was installed
+// before Attach. Recorders must detach in LIFO order (the most recently
+// attached first): detaching out of order would splice away recorders
+// attached later, whose closures still reference this one — those keep
+// working because a stale closure left on the context forwards to the
+// restored chain without recording. Detach is idempotent; the recorder's
+// ring and summary remain readable afterwards.
+func (r *Recorder) Detach() {
+	if r.detached {
+		return
+	}
+	r.detached = true
+	r.ctx.SetHook(r.prev)
 }
 
 func (r *Recorder) record(isBranch bool) {

@@ -93,6 +93,86 @@ func TestRecorderComposesWithSchedulerHook(t *testing.T) {
 	}
 }
 
+func TestDetachRestoresPreviousHook(t *testing.T) {
+	ctx := newCtx()
+	var base int
+	ctx.SetHook(func(isBranch bool) { base++ })
+	r := Attach(ctx, 8)
+	ctx.Nop(0x100)
+	ctx.Nop(0x104)
+	r.Detach()
+	ctx.Nop(0x108)
+	ctx.Nop(0x10c)
+
+	// The previous hook saw every retirement; the recorder only the two
+	// before Detach, and its ring stays readable afterwards.
+	if base != 4 {
+		t.Errorf("previous hook ran %d times, want 4", base)
+	}
+	if got := r.Summary().Instructions; got != 2 {
+		t.Errorf("recorder captured %d instructions after detach, want 2", got)
+	}
+	if len(r.Events()) != 2 {
+		t.Errorf("ring has %d events, want 2", len(r.Events()))
+	}
+	// Idempotent: a second Detach must not disturb the restored chain.
+	r.Detach()
+	ctx.Nop(0x110)
+	if base != 5 {
+		t.Errorf("previous hook ran %d times after double detach, want 5", base)
+	}
+}
+
+func TestDetachLIFOComposition(t *testing.T) {
+	ctx := newCtx()
+	outer := Attach(ctx, 8)
+	inner := Attach(ctx, 8) // wraps outer's closure
+	ctx.Nop(0x100)
+
+	// LIFO: detach inner first; outer keeps recording.
+	inner.Detach()
+	ctx.Nop(0x104)
+	if got := inner.Summary().Instructions; got != 1 {
+		t.Errorf("inner recorded %d, want 1", got)
+	}
+	if got := outer.Summary().Instructions; got != 2 {
+		t.Errorf("outer recorded %d after inner detached, want 2", got)
+	}
+
+	outer.Detach()
+	ctx.Nop(0x108)
+	if got := outer.Summary().Instructions; got != 2 {
+		t.Errorf("outer recorded %d after its own detach, want 2", got)
+	}
+	if ctx.Hook() != nil {
+		t.Error("hook chain not fully restored")
+	}
+}
+
+func TestDetachOutOfOrderStopsRecording(t *testing.T) {
+	// Non-LIFO detach is documented as splicing away later recorders:
+	// outer.Detach() reinstalls outer.prev, so inner stops seeing events.
+	// When inner then detaches, it reinstalls outer's stale closure; the
+	// detached guard keeps that closure from recording.
+	ctx := newCtx()
+	outer := Attach(ctx, 8)
+	inner := Attach(ctx, 8)
+	ctx.Nop(0x100)
+	outer.Detach() // out of order: splices inner off the context
+	ctx.Nop(0x104)
+	if got := outer.Summary().Instructions; got != 1 {
+		t.Errorf("outer recorded %d after detach, want 1", got)
+	}
+	if got := inner.Summary().Instructions; got != 1 {
+		t.Errorf("inner recorded %d while spliced off, want 1", got)
+	}
+	inner.Detach() // reinstalls outer's stale (detached) closure
+	ctx.Nop(0x108)
+	if got := outer.Summary().Instructions; got != 1 {
+		t.Errorf("outer's stale closure recorded after detach: %d events", got)
+	}
+}
+
 func TestDirectionsRendering(t *testing.T) {
 	ctx := newCtx()
 	r := Attach(ctx, 32)

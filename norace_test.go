@@ -1,0 +1,5 @@
+//go:build !race
+
+package branchscope_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package branchscope_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// telemetry overhead guardrail skips itself under race, where timing
+// ratios are meaningless.
+const raceEnabled = true
