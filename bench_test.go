@@ -6,6 +6,7 @@
 package branchscope_test
 
 import (
+	"context"
 	"testing"
 
 	"branchscope/internal/core"
@@ -21,7 +22,10 @@ func BenchmarkFig2SelectionLearning(b *testing.B) {
 	cfg := experiments.QuickFig2Config()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		r := experiments.RunFig2(cfg)
+		r, err := experiments.RunFig2(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Series) != 2 {
 			b.Fatal("bad result")
 		}
@@ -33,7 +37,11 @@ func BenchmarkTable1FSMTransitions(b *testing.B) {
 	models := uarch.All()
 	for i := 0; i < b.N; i++ {
 		for _, m := range models {
-			if !experiments.RunTable1(m, uint64(i)).MatchesPaper() {
+			r, err := experiments.RunTable1(context.Background(), m, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.MatchesPaper() {
 				b.Fatalf("%s diverged from the paper", m.Name)
 			}
 		}
@@ -46,7 +54,11 @@ func BenchmarkFig4StateDistribution(b *testing.B) {
 	cfg := experiments.QuickFig4Config()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunFig4(cfg); len(r.Points) == 0 {
+		r, err := experiments.RunFig4(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) == 0 {
 			b.Fatal("bad result")
 		}
 	}
@@ -58,7 +70,10 @@ func BenchmarkFig5PHTSizeDiscovery(b *testing.B) {
 	cfg := experiments.QuickFig5Config()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		r := experiments.RunFig5(cfg)
+		r, err := experiments.RunFig5(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.DiscoveredSize != r.TrueSize {
 			b.Fatalf("discovered %d, want %d", r.DiscoveredSize, r.TrueSize)
 		}
@@ -68,7 +83,11 @@ func BenchmarkFig5PHTSizeDiscovery(b *testing.B) {
 // BenchmarkFig6CovertDemo regenerates the Figure 6 decode demo (E5).
 func BenchmarkFig6CovertDemo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if r := experiments.RunFig6(experiments.Fig6Config{Seed: uint64(i)}); len(r.Decoded) == 0 {
+		r, err := experiments.RunFig6(context.Background(), experiments.Fig6Config{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Decoded) == 0 {
 			b.Fatal("bad result")
 		}
 	}
@@ -79,7 +98,11 @@ func BenchmarkTable2CovertErrorRates(b *testing.B) {
 	cfg := experiments.QuickTable2Config()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunTable2(cfg); len(r.Cells) != 6 {
+		r, err := experiments.RunTable2(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Cells) != 6 {
 			b.Fatal("bad result")
 		}
 	}
@@ -91,7 +114,11 @@ func BenchmarkFig7BranchLatency(b *testing.B) {
 	cfg := experiments.QuickFig7Config()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunFig7(cfg); len(r.Cases) != 4 {
+		r, err := experiments.RunFig7(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Cases) != 4 {
 			b.Fatal("bad result")
 		}
 	}
@@ -102,7 +129,11 @@ func BenchmarkFig8TimingError(b *testing.B) {
 	cfg := experiments.QuickFig8Config()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunFig8(cfg); len(r.Points) == 0 {
+		r, err := experiments.RunFig8(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) == 0 {
 			b.Fatal("bad result")
 		}
 	}
@@ -114,7 +145,11 @@ func BenchmarkFig9StateLatency(b *testing.B) {
 	cfg := experiments.QuickFig9Config()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunFig9(cfg); len(r.Cells) != 8 {
+		r, err := experiments.RunFig9(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Cells) != 8 {
 			b.Fatal("bad result")
 		}
 	}
@@ -125,7 +160,11 @@ func BenchmarkTable3SGXCovert(b *testing.B) {
 	cfg := experiments.QuickTable3Config()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunTable3(cfg); len(r.Rows) != 2 {
+		r, err := experiments.RunTable3(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Cells) != 2 {
 			b.Fatal("bad result")
 		}
 	}
@@ -136,7 +175,11 @@ func BenchmarkMitigationAblation(b *testing.B) {
 	cfg := experiments.QuickMitigationsConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunMitigations(cfg); len(r.Rows) != 5 {
+		r, err := experiments.RunMitigations(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Cells) != 5 {
 			b.Fatal("bad result")
 		}
 	}
@@ -147,7 +190,11 @@ func BenchmarkMontgomeryKeyRecovery(b *testing.B) {
 	cfg := experiments.QuickMontgomeryConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunMontgomery(cfg); r.Result.Bits == 0 {
+		r, err := experiments.RunMontgomery(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Result.Bits == 0 {
 			b.Fatal("bad result")
 		}
 	}
@@ -158,7 +205,11 @@ func BenchmarkJPEGRecovery(b *testing.B) {
 	cfg := experiments.QuickJPEGConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunJPEG(cfg); len(r.Result.Recovered) == 0 {
+		r, err := experiments.RunJPEG(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Result.Recovered) == 0 {
 			b.Fatal("bad result")
 		}
 	}
@@ -169,7 +220,11 @@ func BenchmarkASLRRecovery(b *testing.B) {
 	cfg := experiments.QuickASLRConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunASLR(cfg); r.SingleBranch.Candidates == 0 {
+		r, err := experiments.RunASLR(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SingleBranch.Candidates == 0 {
 			b.Fatal("bad result")
 		}
 	}
@@ -180,7 +235,10 @@ func BenchmarkBTBBaseline(b *testing.B) {
 	cfg := experiments.QuickBTBBaselineConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		r := experiments.RunBTBBaseline(cfg)
+		r, err := experiments.RunBTBBaseline(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.BTBError == 0 && r.BranchScope == 0 {
 			b.Fatal("bad result")
 		}
@@ -245,7 +303,10 @@ func BenchmarkIfConversionMitigation(b *testing.B) {
 	cfg := experiments.QuickIfConversionConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		r := experiments.RunIfConversion(cfg)
+		r, err := experiments.RunIfConversion(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.BranchlessError < 0.2 {
 			b.Fatal("if-conversion failed to close the channel")
 		}
@@ -257,7 +318,11 @@ func BenchmarkBranchPoisoning(b *testing.B) {
 	cfg := experiments.QuickPoisoningConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunPoisoning(cfg); r.PoisonedMissRate < 0.5 {
+		r, err := experiments.RunPoisoning(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PoisonedMissRate < 0.5 {
 			b.Fatal("poisoning ineffective")
 		}
 	}
@@ -269,7 +334,11 @@ func BenchmarkAttackDetection(b *testing.B) {
 	cfg := experiments.QuickDetectionConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunDetection(cfg); len(r.Rows) != 4 {
+		r, err := experiments.RunDetection(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Workloads) != 4 {
 			b.Fatal("bad result")
 		}
 	}
@@ -281,7 +350,11 @@ func BenchmarkSlidingWindowRecovery(b *testing.B) {
 	cfg := experiments.QuickSlidingWindowConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunSlidingWindow(cfg); r.Result.Steps == 0 {
+		r, err := experiments.RunSlidingWindow(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Result.Steps == 0 {
 			b.Fatal("bad result")
 		}
 	}
@@ -293,7 +366,11 @@ func BenchmarkSMTChannel(b *testing.B) {
 	cfg := experiments.QuickSMTConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunSMT(cfg); r.ErrorRate > 0.2 {
+		r, err := experiments.RunSMT(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ErrorRate > 0.2 {
 			b.Fatal("channel broken")
 		}
 	}
@@ -305,7 +382,11 @@ func BenchmarkPredictorAblation(b *testing.B) {
 	cfg := experiments.QuickPredictorAblationConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunPredictorAblation(cfg); len(r.Rows) != 3 {
+		r, err := experiments.RunPredictorAblation(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Modes) != 3 {
 			b.Fatal("bad result")
 		}
 	}
@@ -317,7 +398,11 @@ func BenchmarkTimingChannel(b *testing.B) {
 	cfg := experiments.QuickTimingChannelConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunTimingChannel(cfg); r.TSCError > 0.3 {
+		r, err := experiments.RunTimingChannel(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.TSCError > 0.3 {
 			b.Fatal("timing channel broken")
 		}
 	}
@@ -329,7 +414,11 @@ func BenchmarkFSMWidthAblation(b *testing.B) {
 	cfg := experiments.QuickFSMWidthConfig()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if r := experiments.RunFSMWidth(cfg); len(r.Rows) == 0 {
+		r, err := experiments.RunFSMWidth(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) == 0 {
 			b.Fatal("bad result")
 		}
 	}

@@ -32,9 +32,12 @@
 package branchscope
 
 import (
+	"context"
+
 	"branchscope/internal/attacks"
 	"branchscope/internal/core"
 	"branchscope/internal/cpu"
+	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
@@ -84,6 +87,28 @@ type (
 	TimingDetector = core.TimingDetector
 	// Experiment is a runnable paper artifact.
 	Experiment = experiments.Experiment
+)
+
+// The structured run engine behind the experiment suite (see
+// internal/engine): typed results, deterministic seed derivation,
+// context cancellation and bounded parallel execution.
+type (
+	// RunConfig is the cross-experiment configuration an Experiment's
+	// Run receives: scale selector plus base seed.
+	RunConfig = engine.Config
+	// RunResult is a typed experiment outcome: paper-layout text via
+	// String plus structured rows via Rows.
+	RunResult = engine.Result
+	// RunPool bounds engine parallelism; attach it to a context with
+	// WithPool to let experiments fan out internally.
+	RunPool = engine.Pool
+)
+
+// NewPool builds a worker pool allowing up to workers concurrently
+// running units; WithPool attaches it to a context handed to Run.
+var (
+	NewPool  = engine.NewPool
+	WithPool = engine.WithPool
 )
 
 // Decoded PHT state classes.
@@ -172,19 +197,22 @@ var (
 func Experiments() []Experiment { return experiments.All() }
 
 // Validate runs the reproduction scorecard: quick-scale regenerations of
-// every artifact checked against the paper's qualitative claims.
-func Validate(seed uint64) experiments.Scorecard { return experiments.Validate(seed) }
+// every artifact checked against the paper's qualitative claims. The
+// context carries cancellation and, via WithPool, the parallelism bound.
+func Validate(ctx context.Context, seed uint64) (experiments.Scorecard, error) {
+	return experiments.Validate(ctx, seed)
+}
 
 // RunPoisoningDemo runs the branch-poisoning study (§1 extension):
 // rounds of forcing a victim branch to mispredict on demand.
-func RunPoisoningDemo(rounds int, seed uint64) experiments.PoisoningResult {
-	return experiments.RunPoisoning(experiments.PoisoningConfig{Rounds: rounds, Seed: seed})
+func RunPoisoningDemo(ctx context.Context, rounds int, seed uint64) (experiments.PoisoningResult, error) {
+	return experiments.RunPoisoning(ctx, experiments.PoisoningConfig{Rounds: rounds, Seed: seed})
 }
 
 // RunDetectionDemo runs the §10.2 footprint-detector study against an
 // attacker transmitting bits and a set of benign workloads.
-func RunDetectionDemo(bits int, seed uint64) experiments.DetectionResult {
-	return experiments.RunDetection(experiments.DetectionConfig{Bits: bits, Seed: seed})
+func RunDetectionDemo(ctx context.Context, bits int, seed uint64) (experiments.DetectionResult, error) {
+	return experiments.RunDetection(ctx, experiments.DetectionConfig{Bits: bits, Seed: seed})
 }
 
 // ExperimentByID returns one experiment by its short name ("table2").

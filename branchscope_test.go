@@ -1,6 +1,7 @@
 package branchscope_test
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -52,8 +53,15 @@ func TestPublicAPIExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out := e.Run(true, 1).String(); out == "" {
+	res, err := e.Run(context.Background(), branchscope.RunConfig{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
 		t.Error("empty experiment output")
+	}
+	if len(res.Rows()) == 0 {
+		t.Error("experiment returned no structured rows")
 	}
 }
 
@@ -94,11 +102,11 @@ func TestPublicAPIMapper(t *testing.T) {
 }
 
 func TestPublicAPIDemosAndHelpers(t *testing.T) {
-	if r := branchscope.RunPoisoningDemo(60, 3); r.PoisonedMissRate < 0.9 {
-		t.Errorf("poisoning demo miss rate %.2f", r.PoisonedMissRate)
+	if r, err := branchscope.RunPoisoningDemo(context.Background(), 60, 3); err != nil || r.PoisonedMissRate < 0.9 {
+		t.Errorf("poisoning demo miss rate %.2f (err %v)", r.PoisonedMissRate, err)
 	}
-	if r := branchscope.RunDetectionDemo(60, 3); len(r.Rows) != 4 {
-		t.Errorf("detection demo rows = %d", len(r.Rows))
+	if r, err := branchscope.RunDetectionDemo(context.Background(), 60, 3); err != nil || len(r.Workloads) != 4 {
+		t.Errorf("detection demo rows = %d (err %v)", len(r.Workloads), err)
 	}
 	if !branchscope.DecodeBit("MH") || branchscope.DecodeBit("MM") {
 		t.Error("DecodeBit re-export broken")

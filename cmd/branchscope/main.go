@@ -20,12 +20,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"branchscope/internal/cpu"
 	"branchscope/internal/experiments"
@@ -152,7 +155,13 @@ func run() int {
 	}
 	fmt.Println()
 
-	res := experiments.RunCovert(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := experiments.RunCovert(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	if *verbose {
 		for i, r := range res.PerRun {
 			fmt.Printf("  run %d: %.3f%%\n", i+1, 100*r)

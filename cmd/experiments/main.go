@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed 1] [-list] [-check] [-md out.md]
+//	experiments [-quick] [-seed 1] [-parallel N] [-timeout 0]
+//	            [-list] [-check] [-md out.md] [-json out.json]
 //	            [-metrics-out m.json] [-trace-out t.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [id ...]
 //
@@ -13,26 +14,46 @@
 // fig9 table3 mitigations montgomery jpeg aslr ifconversion poisoning
 // detection slidingwindow smt predictors timingchannel fsmwidth btb
 //
+// Execution engine: the suite runs on internal/engine. -parallel N
+// (default: GOMAXPROCS) executes experiments — and their per-CPU-model
+// sub-runs — on a bounded worker pool. Every unit's randomness derives
+// from (seed, experiment ID, unit labels), never from scheduling order,
+// so stdout is byte-identical between -parallel 1 and -parallel 8 for
+// the same seed; elapsed times go to stderr only. -timeout bounds each
+// experiment's wall time, and a panicking or failing experiment is
+// reported in place while the rest of the suite completes (exit code 1).
+// SIGINT/SIGTERM cancel the run cooperatively. -json writes every
+// result as structured rows (schema branchscope.experiments/v1; see
+// engine.WriteJSON for the documented key order).
+//
 // Observability: -metrics-out installs a process-wide telemetry set
 // (see internal/telemetry) that the covert-channel harness reports
 // through, and writes the registry as JSON at exit, including a
-// wall-time and a simulated-cycle gauge per executed experiment.
-// -trace-out additionally captures per-thread span timelines as Chrome
-// trace-event JSON for Perfetto. Wall-time gauges are the one
-// deliberately nondeterministic metric; everything else is
+// wall-time gauge per executed experiment (and a simulated-cycle gauge
+// at -parallel 1, where the process-wide cycle counter is attributable
+// to one experiment at a time). -trace-out additionally captures
+// per-thread span timelines as Chrome trace-event JSON for Perfetto; it
+// requires -parallel 1 because concurrent experiments would interleave
+// their spans into one meaningless timeline. Wall-time gauges are the
+// one deliberately nondeterministic metric; everything else is
 // cycle-derived and reproducible per seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
 	"branchscope/internal/telemetry"
 )
@@ -43,15 +64,29 @@ func run() int {
 	var (
 		quick      = flag.Bool("quick", false, "run test-scale configurations")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max experiments (and experiment-internal units) running concurrently")
+		timeout    = flag.Duration("timeout", 0, "per-experiment wall-time limit (0 = unbounded)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		check      = flag.Bool("check", false, "run the reproduction scorecard (paper-claim validation) and exit")
 		mdPath     = flag.String("md", "", "also write the results as a markdown report to this file")
+		jsonPath   = flag.String("json", "", "write results as structured JSON (branchscope.experiments/v1) to this file")
 		metricsOut = flag.String("metrics-out", "", "write telemetry metrics as JSON to this file")
-		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON to this file (requires -parallel 1)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -parallel must be >= 1 (got %d)\n", *parallel)
+		flag.Usage()
+		return 2
+	}
+	if *traceOut != "" && *parallel > 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -trace-out requires -parallel 1 (concurrent experiments would interleave one span timeline)")
+		flag.Usage()
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -59,8 +94,17 @@ func run() int {
 		}
 		return 0
 	}
+
+	pool := engine.NewPool(*parallel)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *check {
-		sc := experiments.Validate(*seed)
+		sc, err := experiments.Validate(engine.WithPool(ctx, pool), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: scorecard:", err)
+			return 1
+		}
 		fmt.Print(sc)
 		if !sc.AllPassed() {
 			return 1
@@ -104,14 +148,52 @@ func run() int {
 			e, err := experiments.ByID(id)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				flag.Usage()
 				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	var md strings.Builder
+	tasks := experiments.Tasks(selected)
+	// Per-experiment simulated-cycle attribution only works when one
+	// experiment owns the process-wide counter at a time.
+	if reg != nil && pool == nil {
+		simCycles := reg.Counter("covert.simulated_cycles")
+		for i := range tasks {
+			t := tasks[i]
+			inner := t.Run
+			tasks[i].Run = func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
+				before := simCycles.Value()
+				res, err := inner(ctx, cfg)
+				reg.Gauge("experiments." + t.ID + ".simulated_cycles").Set(float64(simCycles.Value() - before))
+				return res, err
+			}
+		}
+	}
+
+	var done atomic.Int64
+	runner := &engine.Runner{
+		Pool:    pool,
+		Timeout: *timeout,
+		OnDone: func(rep engine.Report) {
+			n := done.Add(1)
+			status := "done"
+			if rep.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s in %v\n",
+				n, len(tasks), rep.Task.ID, status, rep.Wall.Round(time.Millisecond))
+			if reg != nil {
+				reg.Gauge("experiments." + rep.Task.ID + ".wall_seconds").Set(rep.Wall.Seconds())
+			}
+		},
+	}
+	reports := runner.RunSuite(ctx, tasks, engine.Config{Quick: *quick, Seed: *seed})
+	engine.FormatText(os.Stdout, reports)
+
 	if *mdPath != "" {
+		var md strings.Builder
 		scale := "full scale"
 		if *quick {
 			scale = "quick scale"
@@ -119,31 +201,32 @@ func run() int {
 		fmt.Fprintf(&md, "# BranchScope reproduction results\n\n")
 		fmt.Fprintf(&md, "Generated by `cmd/experiments` (seed %d, %s). Paper-vs-measured\n", *seed, scale)
 		fmt.Fprintf(&md, "commentary lives in EXPERIMENTS.md; this file is the raw regeneration.\n")
-	}
-	simCycles := reg.Counter("covert.simulated_cycles")
-	for _, e := range selected {
-		fmt.Printf("=== %s (%s): %s ===\n", e.ID, e.Artifact, e.Description)
-		startT := time.Now()
-		cyclesBefore := simCycles.Value()
-		result := e.Run(*quick, *seed)
-		elapsed := time.Since(startT).Round(time.Millisecond)
-		if reg != nil {
-			reg.Gauge("experiments." + e.ID + ".wall_seconds").Set(time.Since(startT).Seconds())
-			reg.Gauge("experiments." + e.ID + ".simulated_cycles").Set(float64(simCycles.Value() - cyclesBefore))
-		}
-		fmt.Print(result)
-		fmt.Printf("--- %s done in %v ---\n\n", e.ID, elapsed)
-		if *mdPath != "" {
+		for _, rep := range reports {
+			body := ""
+			if rep.Err != nil {
+				body = fmt.Sprintf("FAILED: %v\n", rep.Err)
+			} else {
+				body = rep.Result.String()
+			}
 			fmt.Fprintf(&md, "\n## %s — %s\n\n%s\n\n```\n%s```\n\n*(regenerated in %v)*\n",
-				e.Artifact, e.ID, e.Description, result, elapsed)
+				rep.Task.Artifact, rep.Task.ID, rep.Task.Description, body,
+				rep.Wall.Round(time.Millisecond))
 		}
-	}
-	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "writing markdown report:", err)
 			return 1
 		}
 		fmt.Println("markdown report written to", *mdPath)
+	}
+	if *jsonPath != "" {
+		err := writeFileWith(*jsonPath, func(w io.Writer) error {
+			return engine.WriteJSON(w, engine.ExportMeta{BaseSeed: *seed, Quick: *quick}, reports)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "writing JSON export:", err)
+			return 1
+		}
+		fmt.Println("JSON export written to", *jsonPath)
 	}
 	if *metricsOut != "" {
 		if err := writeFileWith(*metricsOut, reg.Snapshot().WriteJSON); err != nil {
@@ -171,6 +254,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "writing heap profile:", err)
 			return 1
 		}
+	}
+	if n := engine.Failed(reports); n > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", n, len(reports))
+		return 1
 	}
 	return 0
 }

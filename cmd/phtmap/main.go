@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +40,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -start: %v\n", err)
 		os.Exit(2)
 	}
-	res := experiments.RunFig5(experiments.Fig5Config{
+	res, err := experiments.RunFig5(context.Background(), experiments.Fig5Config{
 		Model:         m,
 		Start:         startAddr,
 		Addresses:     *count,
@@ -47,5 +48,9 @@ func main() {
 		Pairs:         *pairs,
 		Seed:          *seed,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Print(res)
 }

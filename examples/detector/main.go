@@ -8,13 +8,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"branchscope"
 )
 
 func main() {
-	r := branchscope.RunDetectionDemo(400, 7)
+	r, err := branchscope.RunDetectionDemo(context.Background(), 400, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Print(r)
 	fmt.Println("\nmisprediction rate is the wrong footprint (the spy's block is")
 	fmt.Println("learned after one run); working-set churn is the durable one.")

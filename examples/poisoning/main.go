@@ -7,13 +7,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"branchscope"
 )
 
 func main() {
-	r := branchscope.RunPoisoningDemo(512, 7)
+	r, err := branchscope.RunPoisoningDemo(context.Background(), 512, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Print(r)
 	fmt.Println("\nthe same PHT collisions that *read* a victim's branch direction")
 	fmt.Println("can *write* its next prediction — on demand, per execution.")

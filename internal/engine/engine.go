@@ -1,0 +1,100 @@
+// Package engine is the structured run engine behind the experiment
+// suite: typed experiment results, deterministic seed derivation,
+// context cancellation, and bounded parallel execution with preserved
+// output ordering.
+//
+// The package deliberately knows nothing about individual experiments.
+// An experiment is a Task — an ID plus a function from (Context, Config)
+// to a Result — and the Runner executes tasks on a shared worker Pool
+// with per-task timeouts and panic recovery, so one crashing or hanging
+// experiment is reported as that task's error instead of killing the
+// whole suite.
+//
+// Determinism contract: every task runs with a seed derived by hashing
+// the base seed with the task ID (and, inside multi-model experiments,
+// the CPU model name), never with a seed that depends on scheduling
+// order. Combined with order-preserving result collection this makes
+// the rendered suite output byte-identical regardless of the worker
+// count.
+package engine
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// Config carries the cross-experiment run parameters handed to every
+// task: the scale selector and the seed all task-local randomness must
+// derive from.
+type Config struct {
+	// Quick selects the scaled-down test configuration.
+	Quick bool
+	// Seed drives all randomness. The Runner replaces it with a
+	// task-derived seed before invoking the task (see DeriveSeed).
+	Seed uint64
+}
+
+// Result is the outcome of one experiment run: the paper-layout text
+// (String) plus the same data as flat structured rows for machine
+// consumption (Rows).
+type Result interface {
+	fmt.Stringer
+	// Rows returns the result as JSON-exportable records. Key order
+	// inside a Row is the export order and must be deterministic.
+	Rows() []Row
+}
+
+// Field is one key/value pair of a structured row.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field; rows read as engine.Row{engine.F("model", m), ...}.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Row is one structured record of a Result, exported as a JSON object
+// whose keys appear in Row order (unlike a Go map, which would
+// marshal alphabetically and lose the experiment's column order).
+type Row []Field
+
+// MarshalJSON implements json.Marshaler preserving field order.
+func (r Row) MarshalJSON() ([]byte, error) {
+	buf := []byte{'{'}
+	for i, f := range r {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		k, err := json.Marshal(f.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(f.Value)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", f.Key, err)
+		}
+		buf = append(buf, k...)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	return append(buf, '}'), nil
+}
+
+// DeriveSeed maps a base seed and a label path to an independent seed
+// stream (FNV-1a over the base seed and the labels). Experiments and
+// their per-model sub-runs use it so each unit's randomness depends
+// only on (base seed, experiment ID, model) — never on the order the
+// worker pool happens to schedule units in.
+func DeriveSeed(base uint64, labels ...string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], base)
+	h.Write(b[:])
+	for _, l := range labels {
+		h.Write([]byte(l))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"time"
+)
+
+// Task is one schedulable experiment.
+type Task struct {
+	// ID is the short name ("fig2", "table2"); it keys seed derivation.
+	ID string
+	// Artifact and Description annotate reports and exports.
+	Artifact    string
+	Description string
+	// Run executes the task. The config's Seed is already derived for
+	// this task; Run must treat ctx as the cancellation signal and
+	// return promptly once it is done.
+	Run func(ctx context.Context, cfg Config) (Result, error)
+}
+
+// Report is the outcome of one task run.
+type Report struct {
+	Task Task
+	// Seed is the derived seed the task actually ran with.
+	Seed uint64
+	// Result is nil when Err != nil.
+	Result Result
+	// Err is the task's failure: an error return, a recovered panic,
+	// a timeout, or cancellation. The rest of the suite is unaffected.
+	Err error
+	// Wall is the task's wall-clock duration — the one deliberately
+	// nondeterministic field (excluded from deterministic exports).
+	Wall time.Duration
+	// Panicked marks Err as a recovered panic.
+	Panicked bool
+}
+
+// Runner executes tasks under the engine's scheduling policy.
+type Runner struct {
+	// Pool bounds suite-level (and, via the context, experiment-
+	// internal) parallelism. nil runs sequentially.
+	Pool *Pool
+	// Timeout bounds each task's wall time; 0 means unbounded. A task
+	// exceeding it is reported as failed. Its goroutine is signalled
+	// through context cancellation and abandoned if it ignores the
+	// signal, so even a non-cooperative task cannot stall the suite.
+	Timeout time.Duration
+	// OnDone, when non-nil, observes each report as its task finishes
+	// (completion order, concurrently under parallel execution) —
+	// progress reporting, not part of the deterministic output.
+	OnDone func(Report)
+}
+
+// RunTask executes one task with the runner's timeout, panic recovery,
+// and per-task seed derivation.
+func (r *Runner) RunTask(ctx context.Context, t Task, cfg Config) Report {
+	ctx = WithPool(ctx, r.Pool)
+	cfg.Seed = DeriveSeed(cfg.Seed, t.ID)
+	rep := Report{Task: t, Seed: cfg.Seed}
+	cancel := func() {}
+	if r.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+	}
+	defer cancel()
+
+	start := time.Now()
+	type outcome struct {
+		res      Result
+		err      error
+		panicked bool
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		defer func() {
+			if p := recover(); p != nil {
+				o = outcome{
+					err:      fmt.Errorf("engine: task %s panicked: %v\n%s", t.ID, p, debug.Stack()),
+					panicked: true,
+				}
+			}
+			done <- o
+		}()
+		o.res, o.err = t.Run(ctx, cfg)
+	}()
+
+	select {
+	case o := <-done:
+		rep.Result, rep.Err, rep.Panicked = o.res, o.err, o.panicked
+	case <-ctx.Done():
+		// The task ignored cancellation past the deadline; abandon its
+		// goroutine and report the timeout.
+		rep.Err = fmt.Errorf("engine: task %s: %w", t.ID, ctx.Err())
+	}
+	rep.Wall = time.Since(start)
+	if rep.Err != nil {
+		rep.Result = nil
+	}
+	if r.OnDone != nil {
+		r.OnDone(rep)
+	}
+	return rep
+}
+
+// RunSuite executes tasks on the runner's pool and returns one report
+// per task in task order, regardless of completion order. Errors are
+// per-report; the suite itself always completes. Tasks that never start
+// because ctx was canceled are reported as failed with the
+// cancellation error.
+func (r *Runner) RunSuite(ctx context.Context, tasks []Task, cfg Config) []Report {
+	reports, _ := Map(WithPool(ctx, r.Pool), len(tasks), func(i int) (Report, error) {
+		return r.RunTask(ctx, tasks[i], cfg), nil
+	})
+	for i := range reports {
+		if reports[i].Task.Run == nil { // zero value: Map skipped it on cancellation
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			reports[i] = Report{
+				Task: tasks[i],
+				Seed: DeriveSeed(cfg.Seed, tasks[i].ID),
+				Err:  fmt.Errorf("engine: task %s: %w", tasks[i].ID, err),
+			}
+		}
+	}
+	return reports
+}
+
+// Failed counts reports with errors.
+func Failed(reports []Report) int {
+	n := 0
+	for _, rep := range reports {
+		if rep.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatText renders reports in the suite's paper-layout text form —
+// exactly what cmd/experiments prints to stdout. The rendering contains
+// no wall-clock times, so it is byte-identical for the same base seed
+// at any parallelism level.
+func FormatText(w io.Writer, reports []Report) {
+	for _, rep := range reports {
+		fmt.Fprintf(w, "=== %s (%s): %s ===\n", rep.Task.ID, rep.Task.Artifact, rep.Task.Description)
+		if rep.Err != nil {
+			fmt.Fprintf(w, "!!! %s failed: %v\n", rep.Task.ID, rep.Err)
+		} else {
+			fmt.Fprint(w, rep.Result)
+		}
+		fmt.Fprintf(w, "--- %s done ---\n\n", rep.Task.ID)
+	}
+}
+
+// ExportMeta annotates a WriteJSON export.
+type ExportMeta struct {
+	// BaseSeed is the suite's base seed (tasks run on derived seeds).
+	BaseSeed uint64
+	// Quick records the scale the suite ran at.
+	Quick bool
+}
+
+// WriteJSON writes reports as the structured export consumed by
+// downstream tooling. Schema (stable key order):
+//
+//	{
+//	  "schema": "branchscope.experiments/v1",
+//	  "base_seed": <uint>,       // suite base seed
+//	  "quick": <bool>,           // test-scale configurations?
+//	  "experiments": [
+//	    {
+//	      "id": <string>,        // registry ID ("fig2", "table2", ...)
+//	      "artifact": <string>,  // paper table/figure
+//	      "description": <string>,
+//	      "seed": <uint>,        // derived seed the task ran with
+//	      "error": <string>,     // "" on success
+//	      "rows": [ {<experiment-specific ordered keys>}, ... ],
+//	      "wall_seconds": <float> // nondeterministic; 0 in golden tests
+//	    }, ...
+//	  ]
+//	}
+//
+// Everything except wall_seconds is deterministic per base seed.
+func WriteJSON(w io.Writer, meta ExportMeta, reports []Report) error {
+	type expJSON struct {
+		ID          string  `json:"id"`
+		Artifact    string  `json:"artifact"`
+		Description string  `json:"description"`
+		Seed        uint64  `json:"seed"`
+		Error       string  `json:"error"`
+		Rows        []Row   `json:"rows"`
+		WallSeconds float64 `json:"wall_seconds"`
+	}
+	type exportJSON struct {
+		Schema      string    `json:"schema"`
+		BaseSeed    uint64    `json:"base_seed"`
+		Quick       bool      `json:"quick"`
+		Experiments []expJSON `json:"experiments"`
+	}
+	out := exportJSON{
+		Schema:      "branchscope.experiments/v1",
+		BaseSeed:    meta.BaseSeed,
+		Quick:       meta.Quick,
+		Experiments: make([]expJSON, 0, len(reports)),
+	}
+	for _, rep := range reports {
+		e := expJSON{
+			ID:          rep.Task.ID,
+			Artifact:    rep.Task.Artifact,
+			Description: rep.Task.Description,
+			Seed:        rep.Seed,
+			Rows:        []Row{},
+			WallSeconds: rep.Wall.Seconds(),
+		}
+		if rep.Err != nil {
+			e.Error = rep.Err.Error()
+		} else {
+			e.Rows = rep.Result.Rows()
+		}
+		out.Experiments = append(out.Experiments, e)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

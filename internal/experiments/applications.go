@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
 
 	"branchscope/internal/attacks"
+	"branchscope/internal/engine"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
 	"branchscope/internal/stats"
@@ -51,8 +53,11 @@ type MontgomeryExpResult struct {
 }
 
 // RunMontgomery regenerates the Montgomery-ladder attack experiment.
-func RunMontgomery(cfg MontgomeryConfig) MontgomeryExpResult {
+func RunMontgomery(ctx context.Context, cfg MontgomeryConfig) (MontgomeryExpResult, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return MontgomeryExpResult{}, fmt.Errorf("experiments: montgomery: %w", err)
+	}
 	r := rng.New(cfg.Seed + 12)
 	exp := new(big.Int).SetBit(big.NewInt(0), cfg.ExponentBits-1, 1)
 	for i := 0; i < cfg.ExponentBits-1; i++ {
@@ -63,13 +68,13 @@ func RunMontgomery(cfg MontgomeryConfig) MontgomeryExpResult {
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
 	res, err := attacks.RecoverMontgomeryExponent(sys, exp, cfg.Majority, r.Uint64())
 	if err != nil {
-		panic(fmt.Sprintf("experiments: montgomery attack setup failed: %v", err))
+		return MontgomeryExpResult{}, fmt.Errorf("experiments: montgomery attack setup: %w", err)
 	}
 	return MontgomeryExpResult{
 		Config: cfg,
 		Result: res,
 		Exact:  res.Recovered.Cmp(exp) == 0,
-	}
+	}, nil
 }
 
 // String implements fmt.Stringer.
@@ -80,6 +85,17 @@ func (r MontgomeryExpResult) String() string {
 	}
 	return fmt.Sprintf("Montgomery ladder attack (%d-bit exponent, %s):\n  %s; %s\n",
 		r.Config.ExponentBits, r.Config.Model.Name, r.Result, exact)
+}
+
+// Rows implements engine.Result.
+func (r MontgomeryExpResult) Rows() []engine.Row {
+	return []engine.Row{{
+		engine.F("model", r.Config.Model.Name),
+		engine.F("exponent_bits", r.Config.ExponentBits),
+		engine.F("majority", r.Config.Majority),
+		engine.F("bit_errors", r.Result.BitErrors),
+		engine.F("exact", r.Exact),
+	}}
 }
 
 // JPEGConfig parameterizes the IDCT structure-recovery experiment.
@@ -116,7 +132,7 @@ type JPEGExpResult struct {
 // RunJPEG regenerates the libjpeg attack experiment on synthetic blocks
 // with sparse AC energy (typical of compressed natural images), with both
 // the per-branch and the single-episode multi-branch spy.
-func RunJPEG(cfg JPEGConfig) JPEGExpResult {
+func RunJPEG(ctx context.Context, cfg JPEGConfig) (JPEGExpResult, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 13)
 	blocks := make([]victims.Block, cfg.Blocks)
@@ -129,15 +145,18 @@ func RunJPEG(cfg JPEGConfig) JPEGExpResult {
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
 	res, err := attacks.RecoverJPEGStructure(sys, blocks, r.Uint64())
 	if err != nil {
-		panic(fmt.Sprintf("experiments: jpeg attack setup failed: %v", err))
+		return JPEGExpResult{}, fmt.Errorf("experiments: jpeg attack setup: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return JPEGExpResult{}, fmt.Errorf("experiments: jpeg: %w", err)
 	}
 	sys2 := sched.NewSystem(cfg.Model, r.Uint64())
 	allowST := cfg.Model.BPU.FSM.States == 4 // ST decode is ambiguous on the Skylake FSM
 	multi, err := attacks.RecoverJPEGStructureMulti(sys2, blocks, allowST, r.Uint64())
 	if err != nil {
-		panic(fmt.Sprintf("experiments: jpeg multi attack setup failed: %v", err))
+		return JPEGExpResult{}, fmt.Errorf("experiments: jpeg multi attack setup: %w", err)
 	}
-	return JPEGExpResult{Config: cfg, Result: res, Multi: multi}
+	return JPEGExpResult{Config: cfg, Result: res, Multi: multi}, nil
 }
 
 // String implements fmt.Stringer.
@@ -154,6 +173,28 @@ func (r JPEGExpResult) String() string {
 		fmt.Fprintf(&b, "  block %d recovered structure: %s\n", i, r.Result.Recovered[i])
 	}
 	return b.String()
+}
+
+// Rows implements engine.Result.
+func (r JPEGExpResult) Rows() []engine.Row {
+	return []engine.Row{
+		{
+			engine.F("spy", "per-branch"),
+			engine.F("model", r.Config.Model.Name),
+			engine.F("blocks", r.Config.Blocks),
+			engine.F("branch_errors", r.Result.BranchErrors),
+			engine.F("branches", r.Result.Branches),
+			engine.F("error_rate", r.Result.ErrorRate()),
+		},
+		{
+			engine.F("spy", "multi"),
+			engine.F("model", r.Config.Model.Name),
+			engine.F("blocks", r.Config.Blocks),
+			engine.F("branch_errors", r.Multi.BranchErrors),
+			engine.F("branches", r.Multi.Branches),
+			engine.F("error_rate", r.Multi.ErrorRate()),
+		},
+	}
 }
 
 // ASLRConfig parameterizes the derandomization experiment.
@@ -198,8 +239,11 @@ type ASLRExpResult struct {
 // slide is drawn from the candidate space and recovered by collision
 // scanning, first with one branch (narrowing to the PHT-index class),
 // then with four branch offsets whose carries disambiguate the class.
-func RunASLR(cfg ASLRConfig) ASLRExpResult {
+func RunASLR(ctx context.Context, cfg ASLRConfig) (ASLRExpResult, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return ASLRExpResult{}, fmt.Errorf("experiments: aslr: %w", err)
+	}
 	r := rng.New(cfg.Seed + 14)
 	const base = 0x0055_4000_0000
 	offsets := []uint64{0x6d0, 0xc9a0, 0x8b30, 0x47c0}
@@ -217,6 +261,9 @@ func RunASLR(cfg ASLRConfig) ASLRExpResult {
 		singleCands = append(singleCands, s+offsets[0])
 	}
 	single := attacks.DerandomizeASLR(sys, th, singleCands, len(offsets), cfg.Reps, r.Uint64())
+	if err := ctx.Err(); err != nil {
+		return ASLRExpResult{}, fmt.Errorf("experiments: aslr: %w", err)
+	}
 	multi := attacks.DerandomizeASLRMulti(sys, th, slides, offsets, cfg.Reps, r.Uint64())
 	return ASLRExpResult{
 		Config:       cfg,
@@ -224,7 +271,7 @@ func RunASLR(cfg ASLRConfig) ASLRExpResult {
 		Multi:        multi,
 		TrueSlide:    slide,
 		Pinpointed:   multi.Found == slide,
-	}
+	}, nil
 }
 
 // String implements fmt.Stringer.
@@ -238,6 +285,17 @@ func (r ASLRExpResult) String() string {
 		"  multi-offset scan:  %d survivor(s); %s\n",
 		r.Config.Slides, r.Config.Model.Name,
 		len(r.SingleBranch.Collisions), len(r.Multi.Collisions), status)
+}
+
+// Rows implements engine.Result.
+func (r ASLRExpResult) Rows() []engine.Row {
+	return []engine.Row{{
+		engine.F("model", r.Config.Model.Name),
+		engine.F("candidate_slides", r.Config.Slides),
+		engine.F("single_branch_collisions", len(r.SingleBranch.Collisions)),
+		engine.F("multi_offset_survivors", len(r.Multi.Collisions)),
+		engine.F("pinpointed", r.Pinpointed),
+	}}
 }
 
 // BTBBaselineConfig parameterizes the prior-work comparison.
@@ -274,12 +332,12 @@ type BTBBaselineResult struct {
 
 // RunBTBBaseline regenerates the §11 comparison: BranchScope versus the
 // BTB eviction channel, with and without a BTB-flush defense.
-func RunBTBBaseline(cfg BTBBaselineConfig) BTBBaselineResult {
+func RunBTBBaseline(ctx context.Context, cfg BTBBaselineConfig) (BTBBaselineResult, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 15)
 	res := BTBBaselineResult{Config: cfg}
 
-	runBTB := func(flush bool) float64 {
+	runBTB := func(flush bool) (float64, error) {
 		sys := sched.NewSystem(cfg.Model, r.Uint64())
 		secret := r.Bits(cfg.Bits)
 		victim := sys.Spawn("victim", victims.LoopingSecretArraySender(secret, 0))
@@ -289,15 +347,25 @@ func RunBTBBaseline(cfg BTBBaselineConfig) BTBBaselineResult {
 		spy.FlushDefense = flush
 		got := make([]bool, len(secret))
 		for i := range secret {
+			if i%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, fmt.Errorf("experiments: btb baseline: %w", err)
+				}
+			}
 			got[i] = spy.SpyBit(victim)
 		}
-		return stats.ErrorRate(got, secret)
+		return stats.ErrorRate(got, secret), nil
 	}
-	res.BTBError = runBTB(false)
-	res.BTBUnderFlush = runBTB(true)
+	var err error
+	if res.BTBError, err = runBTB(false); err != nil {
+		return BTBBaselineResult{}, err
+	}
+	if res.BTBUnderFlush, err = runBTB(true); err != nil {
+		return BTBBaselineResult{}, err
+	}
 
-	runBS := func(flush bool) float64 {
-		c := RunCovert(CovertConfig{
+	runBS := func(flush bool) (float64, error) {
+		c, err := RunCovert(ctx, CovertConfig{
 			Model: cfg.Model, Setting: Isolated, Pattern: RandomBits,
 			Bits: cfg.Bits, Runs: 1, Seed: r.Uint64(),
 			Prepare: func(sys *sched.System) {
@@ -310,11 +378,18 @@ func RunBTBBaseline(cfg BTBBaselineConfig) BTBBaselineResult {
 				}
 			},
 		})
-		return c.ErrorRate
+		if err != nil {
+			return 0, fmt.Errorf("btb baseline: %w", err)
+		}
+		return c.ErrorRate, nil
 	}
-	res.BranchScope = runBS(false)
-	res.BranchScopeUnderBTB = runBS(true)
-	return res
+	if res.BranchScope, err = runBS(false); err != nil {
+		return BTBBaselineResult{}, err
+	}
+	if res.BranchScopeUnderBTB, err = runBS(true); err != nil {
+		return BTBBaselineResult{}, err
+	}
+	return res, nil
 }
 
 // String implements fmt.Stringer.
@@ -326,4 +401,21 @@ func (r BTBBaselineResult) String() string {
 	fmt.Fprintf(&b, "  %-38s %8s\n", "BranchScope", stats.Percent(r.BranchScope))
 	fmt.Fprintf(&b, "  %-38s %8s\n", "BranchScope + BTB-flush defense", stats.Percent(r.BranchScopeUnderBTB))
 	return b.String()
+}
+
+// Rows implements engine.Result: one row per channel × defense cell.
+func (r BTBBaselineResult) Rows() []engine.Row {
+	cell := func(channel string, flush bool, rate float64) engine.Row {
+		return engine.Row{
+			engine.F("channel", channel),
+			engine.F("btb_flush_defense", flush),
+			engine.F("error_rate", rate),
+		}
+	}
+	return []engine.Row{
+		cell("btb-eviction", false, r.BTBError),
+		cell("btb-eviction", true, r.BTBUnderFlush),
+		cell("branchscope", false, r.BranchScope),
+		cell("branchscope", true, r.BranchScopeUnderBTB),
+	}
 }

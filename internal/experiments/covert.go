@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/cpu"
 	"branchscope/internal/noise"
 	"branchscope/internal/rng"
@@ -145,6 +147,20 @@ func (r CovertResult) String() string {
 		r.Config.Pattern, stats.Percent(r.ErrorRate))
 }
 
+// Rows implements engine.Result.
+func (r CovertResult) Rows() []engine.Row {
+	return []engine.Row{{
+		engine.F("model", r.Config.Model.Name),
+		engine.F("setting", r.Config.Setting.String()),
+		engine.F("pattern", r.Config.Pattern.String()),
+		engine.F("bits", r.Config.Bits),
+		engine.F("runs", r.Config.Runs),
+		engine.F("error_rate", r.ErrorRate),
+		engine.F("per_run", r.PerRun),
+		engine.F("setup_failed", r.SetupFailed),
+	}}
+}
+
 // noiseBudget returns the per-episode background instruction count for
 // the configuration.
 func noiseBudget(cfg CovertConfig) int {
@@ -168,8 +184,9 @@ func noiseBudget(cfg CovertConfig) int {
 // sender (a Listing 2 secret-array victim, optionally inside an SGX
 // enclave), performs the pre-attack block search, and transmits
 // cfg.Bits bits with prime–step–probe episodes, interleaving background
-// noise per the setting.
-func RunCovert(cfg CovertConfig) CovertResult {
+// noise per the setting. Cancelling ctx aborts between runs and every
+// few hundred transmitted bits.
+func RunCovert(ctx context.Context, cfg CovertConfig) (CovertResult, error) {
 	if cfg.Bits <= 0 {
 		cfg.Bits = 1000
 	}
@@ -182,14 +199,18 @@ func RunCovert(cfg CovertConfig) CovertResult {
 	root := rng.New(cfg.Seed ^ 0xc0de)
 	res := CovertResult{Config: cfg}
 	for run := 0; run < cfg.Runs; run++ {
-		res.PerRun = append(res.PerRun, runCovertOnce(cfg, root.Split(), &res))
+		rate, err := runCovertOnce(ctx, cfg, root.Split(), &res)
+		if err != nil {
+			return CovertResult{}, fmt.Errorf("experiments: covert run %d: %w", run, err)
+		}
+		res.PerRun = append(res.PerRun, rate)
 	}
 	res.ErrorRate = stats.Mean(res.PerRun)
 	cfg.Telemetry.Gauge("covert.error_rate").Set(res.ErrorRate)
-	return res
+	return res, nil
 }
 
-func runCovertOnce(cfg CovertConfig, r *rng.Source, res *CovertResult) float64 {
+func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *CovertResult) (float64, error) {
 	tel := cfg.Telemetry
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
 	if tel != nil {
@@ -251,13 +272,18 @@ func runCovertOnce(cfg CovertConfig, r *rng.Source, res *CovertResult) float64 {
 		// reduced to guessing.
 		res.SetupFailed++
 		tel.Counter("covert.setup_failures").Inc()
-		return 0.5
+		return 0.5, nil
 	}
 
 	got := make([]bool, len(secret))
 	before, after := stepNoise(budget/2), stepNoise(budget-budget/2)
 	for i := range secret {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		got[i] = sess.SpyBit(victim, before, after)
 	}
-	return stats.ErrorRate(got, secret)
+	return stats.ErrorRate(got, secret), nil
 }

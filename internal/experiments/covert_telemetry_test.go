@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"branchscope/internal/telemetry"
@@ -20,7 +21,10 @@ func covertTelemetryRun(t *testing.T, seed uint64) (*telemetry.Set, CovertResult
 		Seed:      seed,
 		Telemetry: set,
 	}
-	res := RunCovert(cfg)
+	res, err := RunCovert(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.SetupFailed != 0 {
 		t.Fatalf("block search failed (%d runs)", res.SetupFailed)
 	}
@@ -112,7 +116,7 @@ func TestCovertTelemetryDeterministic(t *testing.T) {
 // TestCovertSGXTelemetry checks the enclave counters and AEX spans.
 func TestCovertSGXTelemetry(t *testing.T) {
 	set := telemetry.New(telemetry.NewRegistry(), telemetry.NewTracer())
-	res := RunCovert(CovertConfig{
+	res, err := RunCovert(context.Background(), CovertConfig{
 		Model:     uarch.Skylake(),
 		Setting:   Isolated,
 		Pattern:   AllOnes,
@@ -122,6 +126,9 @@ func TestCovertSGXTelemetry(t *testing.T) {
 		Seed:      5,
 		Telemetry: set,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.SetupFailed != 0 {
 		t.Fatal("setup failed")
 	}
@@ -152,10 +159,12 @@ func TestDefaultTelemetryFallback(t *testing.T) {
 	set := telemetry.New(telemetry.NewRegistry(), nil)
 	SetDefaultTelemetry(set)
 	defer SetDefaultTelemetry(nil)
-	RunCovert(CovertConfig{
+	if _, err := RunCovert(context.Background(), CovertConfig{
 		Model: uarch.Skylake(), Setting: Isolated, Pattern: AllZeros,
 		Bits: 10, Runs: 1, Seed: 2,
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if set.Metrics.Counter("core.episodes").Value() != 10 {
 		t.Error("default telemetry set not picked up")
 	}

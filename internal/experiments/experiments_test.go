@@ -1,18 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"branchscope/internal/bpu"
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/uarch"
 )
 
 func TestFig2Shape(t *testing.T) {
 	cfg := QuickFig2Config()
 	cfg.Seed = 2
-	r := RunFig2(cfg)
+	r, err := RunFig2(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Series) != 2 {
 		t.Fatalf("series = %d, want 2", len(r.Series))
 	}
@@ -40,7 +45,10 @@ func TestFig2Shape(t *testing.T) {
 
 func TestTable1AllModelsMatchPaper(t *testing.T) {
 	for _, m := range uarch.All() {
-		res := RunTable1(m, 7)
+		res, err := RunTable1(context.Background(), m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 		if !res.MatchesPaper() {
 			t.Errorf("%s does not match the paper:\n%s", m.Name, res)
 		}
@@ -50,20 +58,29 @@ func TestTable1AllModelsMatchPaper(t *testing.T) {
 func TestTable1SkylakeFootnote(t *testing.T) {
 	// The TTT/N/NN row is the Skylake peculiarity: MM there, MH on the
 	// textbook parts.
-	sl := RunTable1(uarch.Skylake(), 1)
-	hw := RunTable1(uarch.Haswell(), 1)
-	if sl.Rows[3].Observation != core.PatternMM {
-		t.Errorf("Skylake TTT/N/NN = %s, want MM", sl.Rows[3].Observation)
+	sl, err := RunTable1(context.Background(), uarch.Skylake(), 1)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if hw.Rows[3].Observation != core.PatternMH {
-		t.Errorf("Haswell TTT/N/NN = %s, want MH", hw.Rows[3].Observation)
+	hw, err := RunTable1(context.Background(), uarch.Haswell(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Entries[3].Observation != core.PatternMM {
+		t.Errorf("Skylake TTT/N/NN = %s, want MM", sl.Entries[3].Observation)
+	}
+	if hw.Entries[3].Observation != core.PatternMH {
+		t.Errorf("Haswell TTT/N/NN = %s, want MH", hw.Entries[3].Observation)
 	}
 }
 
 func TestFig4Distribution(t *testing.T) {
 	cfg := QuickFig4Config()
 	cfg.Seed = 3
-	r := RunFig4(cfg)
+	r, err := RunFig4(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.StableShare < 0.55 || r.StableShare > 0.99 {
 		t.Errorf("stable share %.2f outside plausible band (paper: 0.83)", r.StableShare)
 	}
@@ -83,7 +100,10 @@ func TestFig4Distribution(t *testing.T) {
 func TestFig5DiscoversTrueSize(t *testing.T) {
 	cfg := QuickFig5Config()
 	cfg.Seed = 5
-	r := RunFig5(cfg)
+	r, err := RunFig5(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.DiscoveredSize != r.TrueSize {
 		t.Errorf("discovered %d, true %d", r.DiscoveredSize, r.TrueSize)
 	}
@@ -106,7 +126,10 @@ func TestFig5DiscoversTrueSize(t *testing.T) {
 }
 
 func TestFig6Demonstration(t *testing.T) {
-	r := RunFig6(Fig6Config{Seed: 6})
+	r, err := RunFig6(context.Background(), Fig6Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Decoded) != len(r.Original) || len(r.Patterns) != len(r.Original) {
 		t.Fatal("transcript length mismatch")
 	}
@@ -124,7 +147,10 @@ func TestFig6Demonstration(t *testing.T) {
 func TestTable2Shape(t *testing.T) {
 	cfg := QuickTable2Config()
 	cfg.Seed = 22
-	r := RunTable2(cfg)
+	r, err := RunTable2(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Cells) != 6 {
 		t.Fatalf("cells = %d, want 6 rows", len(r.Cells))
 	}
@@ -156,7 +182,10 @@ func TestTable2Shape(t *testing.T) {
 func TestFig7Separation(t *testing.T) {
 	cfg := QuickFig7Config()
 	cfg.Seed = 77
-	r := RunFig7(cfg)
+	r, err := RunFig7(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, taken := range []bool{false, true} {
 		hit := r.Case(taken, false).Summary.Mean
 		miss := r.Case(taken, true).Summary.Mean
@@ -170,7 +199,10 @@ func TestFig7Separation(t *testing.T) {
 func TestFig8ErrorShrinksWithAveraging(t *testing.T) {
 	cfg := QuickFig8Config()
 	cfg.Seed = 88
-	r := RunFig8(cfg)
+	r, err := RunFig8(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	first := r.Points[0]
 	last := r.Points[len(r.Points)-1]
 	// The paper: 1st measurement 20-30% error, 2nd ~10%, both falling
@@ -195,7 +227,10 @@ func TestFig8ErrorShrinksWithAveraging(t *testing.T) {
 func TestFig9StatesDistinguishable(t *testing.T) {
 	cfg := QuickFig9Config()
 	cfg.Seed = 99
-	r := RunFig9(cfg)
+	r, err := RunFig9(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Cells) != 8 {
 		t.Fatalf("cells = %d, want 8", len(r.Cells))
 	}
@@ -217,12 +252,15 @@ func TestFig9StatesDistinguishable(t *testing.T) {
 }
 
 func TestTable3SGXBeatsUserSpace(t *testing.T) {
-	t3 := RunTable3(Table3Config{Bits: 1500, Runs: 2, Seed: 33})
-	if len(t3.Rows) != 2 {
-		t.Fatalf("rows = %d", len(t3.Rows))
+	t3, err := RunTable3(context.Background(), Table3Config{Bits: 1500, Runs: 2, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Cells) != 2 {
+		t.Fatalf("rows = %d", len(t3.Cells))
 	}
 	var iso, noisy Table2Row
-	for _, row := range t3.Rows {
+	for _, row := range t3.Cells {
 		if row.Setting == Isolated {
 			iso = row
 		} else {
@@ -246,9 +284,12 @@ func TestTable3SGXBeatsUserSpace(t *testing.T) {
 func TestMitigationsAblation(t *testing.T) {
 	cfg := QuickMitigationsConfig()
 	cfg.Seed = 10
-	r := RunMitigations(cfg)
+	r, err := RunMitigations(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rates := map[bpu.Mitigation]float64{}
-	for _, row := range r.Rows {
+	for _, row := range r.Cells {
 		rates[row.Mitigation] = row.ErrorRate
 	}
 	if rates[bpu.MitigationNone] > 0.05 {
@@ -269,7 +310,10 @@ func TestMitigationsAblation(t *testing.T) {
 func TestMontgomeryExperiment(t *testing.T) {
 	cfg := QuickMontgomeryConfig()
 	cfg.Seed = 11
-	r := RunMontgomery(cfg)
+	r, err := RunMontgomery(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Result.ErrorRate() > 0.02 {
 		t.Errorf("bit error rate %.2f%%", 100*r.Result.ErrorRate())
 	}
@@ -281,7 +325,10 @@ func TestMontgomeryExperiment(t *testing.T) {
 func TestJPEGExperiment(t *testing.T) {
 	cfg := QuickJPEGConfig()
 	cfg.Seed = 12
-	r := RunJPEG(cfg)
+	r, err := RunJPEG(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Result.ErrorRate() > 0.05 {
 		t.Errorf("branch error rate %.2f%%", 100*r.Result.ErrorRate())
 	}
@@ -290,7 +337,10 @@ func TestJPEGExperiment(t *testing.T) {
 func TestASLRExperiment(t *testing.T) {
 	cfg := QuickASLRConfig()
 	cfg.Seed = 13
-	r := RunASLR(cfg)
+	r, err := RunASLR(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Pinpointed {
 		t.Errorf("slide not pinpointed: %s", r.String())
 	}
@@ -302,7 +352,10 @@ func TestASLRExperiment(t *testing.T) {
 func TestBTBBaselineComparison(t *testing.T) {
 	cfg := QuickBTBBaselineConfig()
 	cfg.Seed = 14
-	r := RunBTBBaseline(cfg)
+	r, err := RunBTBBaseline(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.BTBError <= r.BranchScope {
 		t.Errorf("BTB channel (%.2f%%) not worse than BranchScope (%.2f%%)",
 			100*r.BTBError, 100*r.BranchScope)
@@ -334,7 +387,11 @@ func TestRegistry(t *testing.T) {
 	}
 	// A quick registry-driven run exercises the plumbing end to end.
 	e, _ := ByID("fig6")
-	if out := e.Run(true, 3).String(); !strings.Contains(out, "Figure 6") {
+	res, rerr := e.Run(context.Background(), engine.Config{Quick: true, Seed: 3})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if out := res.String(); !strings.Contains(out, "Figure 6") {
 		t.Error("registry run produced unexpected output")
 	}
 }
@@ -370,7 +427,10 @@ func TestBitPatternBits(t *testing.T) {
 func TestIfConversionClosesChannel(t *testing.T) {
 	cfg := QuickIfConversionConfig()
 	cfg.Seed = 20
-	r := RunIfConversion(cfg)
+	r, err := RunIfConversion(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.BranchyError > 0.02 {
 		t.Errorf("baseline ladder recovery error %.2f%%", 100*r.BranchyError)
 	}
@@ -385,7 +445,10 @@ func TestIfConversionClosesChannel(t *testing.T) {
 func TestPoisoningForcesMispredictions(t *testing.T) {
 	cfg := QuickPoisoningConfig()
 	cfg.Seed = 21
-	r := RunPoisoning(cfg)
+	r, err := RunPoisoning(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.BaselineMissRate > 0.05 {
 		t.Errorf("baseline miss rate %.2f%%", 100*r.BaselineMissRate)
 	}
@@ -403,9 +466,12 @@ func TestPoisoningForcesMispredictions(t *testing.T) {
 func TestDetectionSeparatesAttackerFromBenign(t *testing.T) {
 	cfg := QuickDetectionConfig()
 	cfg.Seed = 22
-	r := RunDetection(cfg)
+	r, err := RunDetection(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]DetectionRow{}
-	for _, row := range r.Rows {
+	for _, row := range r.Workloads {
 		byName[row.Workload] = row
 	}
 	if !byName["BranchScope spy"].Detected {
@@ -428,7 +494,10 @@ func TestDetectionSeparatesAttackerFromBenign(t *testing.T) {
 func TestSlidingWindowRecovery(t *testing.T) {
 	cfg := QuickSlidingWindowConfig()
 	cfg.Seed = 23
-	r := RunSlidingWindow(cfg)
+	r, err := RunSlidingWindow(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Result.KnownFraction() < 0.4 {
 		t.Errorf("only %.1f%% of key bits pinned", 100*r.Result.KnownFraction())
 	}
@@ -443,7 +512,10 @@ func TestSlidingWindowRecovery(t *testing.T) {
 func TestSMTChannel(t *testing.T) {
 	cfg := QuickSMTConfig()
 	cfg.Seed = 24
-	r := RunSMT(cfg)
+	r, err := RunSMT(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.ErrorRate > 0.05 {
 		t.Errorf("cross-hyperthread error rate %.2f%%", 100*r.ErrorRate)
 	}
@@ -455,8 +527,14 @@ func TestSMTChannel(t *testing.T) {
 func TestSMTChannelDegradesWithJitter(t *testing.T) {
 	// With wild scheduling jitter the coarse channel must degrade but
 	// not die (majority voting absorbs most slips).
-	low := RunSMT(SMTConfig{Bits: 500, SliceJitter: 1, Seed: 25})
-	high := RunSMT(SMTConfig{Bits: 500, SliceJitter: 6, Seed: 25})
+	low, err := RunSMT(context.Background(), SMTConfig{Bits: 500, SliceJitter: 1, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RunSMT(context.Background(), SMTConfig{Bits: 500, SliceJitter: 6, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if high.ErrorRate < low.ErrorRate {
 		t.Logf("note: jitter 6 (%.2f%%) not worse than jitter 1 (%.2f%%) at this seed",
 			100*high.ErrorRate, 100*low.ErrorRate)
@@ -470,7 +548,10 @@ func TestScorecardAllClaimsHold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scorecard runs the full quick suite")
 	}
-	sc := Validate(1)
+	sc, err := Validate(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sc.AllPassed() {
 		t.Errorf("reproduction scorecard failed:\n%s", sc)
 	}
@@ -482,9 +563,12 @@ func TestScorecardAllClaimsHold(t *testing.T) {
 func TestPredictorAblation(t *testing.T) {
 	cfg := QuickPredictorAblationConfig()
 	cfg.Seed = 26
-	r := RunPredictorAblation(cfg)
+	r, err := RunPredictorAblation(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rates := map[bpu.Mode]float64{}
-	for _, row := range r.Rows {
+	for _, row := range r.Modes {
 		rates[row.Mode] = row.ErrorRate
 	}
 	if rates[bpu.BimodalOnly] > 0.02 {
@@ -504,7 +588,10 @@ func TestPredictorAblation(t *testing.T) {
 func TestTimingChannelComparison(t *testing.T) {
 	cfg := QuickTimingChannelConfig()
 	cfg.Seed = 27
-	r := RunTimingChannel(cfg)
+	r, err := RunTimingChannel(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.PMCError > 0.03 {
 		t.Errorf("PMC channel error %.2f%%", 100*r.PMCError)
 	}
@@ -524,11 +611,14 @@ func TestTimingChannelComparison(t *testing.T) {
 func TestFSMWidthAblation(t *testing.T) {
 	cfg := QuickFSMWidthConfig()
 	cfg.Seed = 28
-	r := RunFSMWidth(cfg)
-	if len(r.Rows) != 4 {
-		t.Fatalf("rows = %d", len(r.Rows))
+	r, err := RunFSMWidth(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, row := range r.Rows {
+	if len(r.Points) != 4 {
+		t.Fatalf("rows = %d", len(r.Points))
+	}
+	for _, row := range r.Points {
 		if row.SearchCandidates < 0 {
 			t.Errorf("width %d: search failed entirely", row.Width)
 			continue

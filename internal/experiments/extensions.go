@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"branchscope/internal/core"
 	"branchscope/internal/cpu"
 	"branchscope/internal/detect"
+	"branchscope/internal/engine"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
 	"branchscope/internal/stats"
@@ -56,7 +58,7 @@ type IfConversionResult struct {
 }
 
 // RunIfConversion regenerates the software-mitigation study.
-func RunIfConversion(cfg IfConversionConfig) IfConversionResult {
+func RunIfConversion(ctx context.Context, cfg IfConversionConfig) (IfConversionResult, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 16)
 	exp := new(big.Int).SetBit(big.NewInt(0), cfg.ExponentBits-1, 1)
@@ -77,7 +79,7 @@ func RunIfConversion(cfg IfConversionConfig) IfConversionResult {
 		sys := sched.NewSystem(cfg.Model, r.Uint64())
 		mres, err := attacks.RecoverMontgomeryExponent(sys, exp, 1, r.Uint64())
 		if err != nil {
-			panic(fmt.Sprintf("experiments: if-conversion baseline setup failed: %v", err))
+			return IfConversionResult{}, fmt.Errorf("experiments: if-conversion baseline setup: %w", err)
 		}
 		res.BranchyError = mres.ErrorRate()
 	}
@@ -97,18 +99,23 @@ func RunIfConversion(cfg IfConversionConfig) IfConversionResult {
 			Search: core.SearchConfig{TargetAddr: victims.LadderBranchAddr, Focused: true},
 		})
 		if err != nil {
-			panic(fmt.Sprintf("experiments: if-conversion attack setup failed: %v", err))
+			return IfConversionResult{}, fmt.Errorf("experiments: if-conversion attack setup: %w", err)
 		}
 		const iterationInstructions = 810 // ~2*mulModCost + cswap overhead
 		got := make([]bool, len(truth))
 		for i := range truth {
+			if i%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return IfConversionResult{}, fmt.Errorf("experiments: if-conversion: %w", err)
+				}
+			}
 			sess.Prime()
 			victim.Step(iterationInstructions)
 			got[i] = core.DecodeBit(sess.Probe())
 		}
 		res.BranchlessError = stats.ErrorRate(got, truth)
 	}
-	return res
+	return res, nil
 }
 
 // String implements fmt.Stringer.
@@ -119,6 +126,16 @@ func (r IfConversionResult) String() string {
 			"  if-converted (cswap) ladder  %8s bit recovery error (0.5 = no leak)\n",
 		r.Config.ExponentBits, r.Config.Model.Name,
 		stats.Percent(r.BranchyError), stats.Percent(r.BranchlessError))
+}
+
+// Rows implements engine.Result.
+func (r IfConversionResult) Rows() []engine.Row {
+	return []engine.Row{{
+		engine.F("model", r.Config.Model.Name),
+		engine.F("exponent_bits", r.Config.ExponentBits),
+		engine.F("branchy_error", r.BranchyError),
+		engine.F("branchless_error", r.BranchlessError),
+	}}
 }
 
 // PoisoningConfig parameterizes the branch-poisoning study (§1): the
@@ -155,41 +172,52 @@ type PoisoningResult struct {
 }
 
 // RunPoisoning regenerates the poisoning study.
-func RunPoisoning(cfg PoisoningConfig) PoisoningResult {
+func RunPoisoning(ctx context.Context, cfg PoisoningConfig) (PoisoningResult, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 17)
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
 	const addr = 0x0047_1100
-	victim := sys.Spawn("victim", func(ctx *cpu.Context) {
+	victim := sys.Spawn("victim", func(hw *cpu.Context) {
 		for {
-			ctx.Work(4)
-			ctx.Branch(addr, true)
+			hw.Work(4)
+			hw.Branch(addr, true)
 		}
 	})
 	defer victim.Kill()
 	spy := sys.NewProcess("spy")
 	p, err := attacks.NewPoisoner(spy, r.Split(), addr)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: poisoner setup failed: %v", err))
+		return PoisoningResult{}, fmt.Errorf("experiments: poisoner setup: %w", err)
 	}
 
-	rate := func(poison func()) float64 {
+	rate := func(poison func()) (float64, error) {
 		before := victim.Context().ReadPMC(cpu.BranchMisses)
 		for i := 0; i < cfg.Rounds; i++ {
+			if i%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, fmt.Errorf("experiments: poisoning: %w", err)
+				}
+			}
 			if poison != nil {
 				poison()
 			}
 			victim.StepBranches(1)
 		}
-		return float64(victim.Context().ReadPMC(cpu.BranchMisses)-before) / float64(cfg.Rounds)
+		return float64(victim.Context().ReadPMC(cpu.BranchMisses)-before) / float64(cfg.Rounds), nil
 	}
 
 	res := PoisoningResult{Config: cfg}
 	victim.StepBranches(10) // warm the victim's branch
-	res.BaselineMissRate = rate(nil)
-	res.PoisonedMissRate = rate(func() { p.Poison(false) })
-	res.AlignedMissRate = rate(func() { p.Poison(true) })
-	return res
+	if res.BaselineMissRate, err = rate(nil); err != nil {
+		return PoisoningResult{}, err
+	}
+	if res.PoisonedMissRate, err = rate(func() { p.Poison(false) }); err != nil {
+		return PoisoningResult{}, err
+	}
+	if res.AlignedMissRate, err = rate(func() { p.Poison(true) }); err != nil {
+		return PoisoningResult{}, err
+	}
+	return res, nil
 }
 
 // String implements fmt.Stringer.
@@ -203,6 +231,17 @@ func (r PoisoningResult) String() string {
 		stats.Percent(r.BaselineMissRate),
 		stats.Percent(r.PoisonedMissRate),
 		stats.Percent(r.AlignedMissRate))
+}
+
+// Rows implements engine.Result.
+func (r PoisoningResult) Rows() []engine.Row {
+	return []engine.Row{{
+		engine.F("model", r.Config.Model.Name),
+		engine.F("rounds", r.Config.Rounds),
+		engine.F("baseline_miss_rate", r.BaselineMissRate),
+		engine.F("poisoned_miss_rate", r.PoisonedMissRate),
+		engine.F("aligned_miss_rate", r.AlignedMissRate),
+	}}
 }
 
 // DetectionConfig parameterizes the §10.2 footprint-detector study.
@@ -238,21 +277,21 @@ type DetectionRow struct {
 // DetectionResult reports the detector against the attacker and a set of
 // benign workloads.
 type DetectionResult struct {
-	Config DetectionConfig
-	Rows   []DetectionRow
+	Config    DetectionConfig
+	Workloads []DetectionRow
 }
 
 // RunDetection regenerates the detector study: the allocation-churn
 // monitor watches (a) a full BranchScope spy, (b) a modular
 // exponentiation service, (c) a JPEG decoder, and (d) a dense
 // random-branch process (the documented false-positive case).
-func RunDetection(cfg DetectionConfig) DetectionResult {
+func RunDetection(ctx context.Context, cfg DetectionConfig) (DetectionResult, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 18)
 	res := DetectionResult{Config: cfg}
 	add := func(name string, m *detect.Monitor) {
 		w, s := m.Stats()
-		res.Rows = append(res.Rows, DetectionRow{
+		res.Workloads = append(res.Workloads, DetectionRow{
 			Workload: name, Detected: m.Detected(), Alerts: m.Alerts(),
 			Windows: w, Suspicious: s,
 		})
@@ -268,9 +307,15 @@ func RunDetection(cfg DetectionConfig) DetectionResult {
 			Search: core.SearchConfig{TargetAddr: victims.SecretBranchAddr, Focused: true},
 		})
 		if err != nil {
-			panic(fmt.Sprintf("experiments: detection setup failed: %v", err))
+			return DetectionResult{}, fmt.Errorf("experiments: detection setup: %w", err)
 		}
-		for range secret {
+		for i := range secret {
+			if i%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return DetectionResult{}, fmt.Errorf("experiments: detection: %w", err)
+				}
+			}
+			_ = secret[i]
 			sess.SpyBit(victim, nil, nil)
 		}
 		victim.Kill()
@@ -278,36 +323,36 @@ func RunDetection(cfg DetectionConfig) DetectionResult {
 	}
 	{ // Benign: modular exponentiation service.
 		sys := sched.NewSystem(cfg.Model, r.Uint64())
-		ctx := sys.NewProcess("modexp")
-		mon := detect.Attach(ctx, detect.Config{})
+		hw := sys.NewProcess("modexp")
+		mon := detect.Attach(hw, detect.Config{})
 		for i := 0; i < 12; i++ {
 			exp := new(big.Int).SetUint64(r.Uint64() | 1<<63)
-			victims.MontgomeryLadder(ctx, big.NewInt(3), exp, big.NewInt(1000003))
+			victims.MontgomeryLadder(hw, big.NewInt(3), exp, big.NewInt(1000003))
 		}
 		add("modexp service (benign)", mon)
 	}
 	{ // Benign: JPEG decoder.
 		sys := sched.NewSystem(cfg.Model, r.Uint64())
-		ctx := sys.NewProcess("decoder")
-		mon := detect.Attach(ctx, detect.Config{})
+		hw := sys.NewProcess("decoder")
+		mon := detect.Attach(hw, detect.Config{})
 		var b victims.Block
 		b[0][0] = 44
 		b[2][6] = -3
 		for i := 0; i < 150; i++ {
-			victims.IDCT(ctx, &b)
+			victims.IDCT(hw, &b)
 		}
 		add("jpeg decoder (benign)", mon)
 	}
 	{ // The documented limitation: dense random branches.
 		sys := sched.NewSystem(cfg.Model, r.Uint64())
-		ctx := sys.NewProcess("fuzzer")
-		mon := detect.Attach(ctx, detect.Config{})
+		hw := sys.NewProcess("fuzzer")
+		mon := detect.Attach(hw, detect.Config{})
 		for i := 0; i < 4000; i++ {
-			ctx.Branch(0x9000+r.Uint64n(1<<16), r.Bool())
+			hw.Branch(0x9000+r.Uint64n(1<<16), r.Bool())
 		}
 		add("dense random branches (false positive)", mon)
 	}
-	return res
+	return res, nil
 }
 
 // String implements fmt.Stringer.
@@ -315,7 +360,7 @@ func (r DetectionResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Attack-footprint detection (§10.2), allocation-churn monitor (%s):\n",
 		r.Config.Model.Name)
-	for _, row := range r.Rows {
+	for _, row := range r.Workloads {
 		verdict := "clean"
 		if row.Detected {
 			verdict = fmt.Sprintf("DETECTED (%d alerts)", row.Alerts)
@@ -324,6 +369,21 @@ func (r DetectionResult) String() string {
 			row.Workload, verdict, row.Suspicious, row.Windows)
 	}
 	return b.String()
+}
+
+// Rows implements engine.Result: one row per monitored workload.
+func (r DetectionResult) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Workloads))
+	for _, row := range r.Workloads {
+		rows = append(rows, engine.Row{
+			engine.F("workload", row.Workload),
+			engine.F("detected", row.Detected),
+			engine.F("alerts", row.Alerts),
+			engine.F("windows", row.Windows),
+			engine.F("suspicious", row.Suspicious),
+		})
+	}
+	return rows
 }
 
 // SlidingWindowConfig parameterizes the §9.2 "limited information"
@@ -363,8 +423,11 @@ type SlidingWindowExpResult struct {
 // key-bit dependence is indirect (window scan), yet BranchScope's branch
 // directions combined with classic step timing pin a large fraction of
 // the key — the partial leakage §9.2 describes for modern libraries.
-func RunSlidingWindow(cfg SlidingWindowConfig) SlidingWindowExpResult {
+func RunSlidingWindow(ctx context.Context, cfg SlidingWindowConfig) (SlidingWindowExpResult, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return SlidingWindowExpResult{}, fmt.Errorf("experiments: sliding-window: %w", err)
+	}
 	r := rng.New(cfg.Seed + 20)
 	exp := new(big.Int).SetBit(big.NewInt(0), cfg.ExponentBits-1, 1)
 	for i := 0; i < cfg.ExponentBits-1; i++ {
@@ -376,9 +439,9 @@ func RunSlidingWindow(cfg SlidingWindowConfig) SlidingWindowExpResult {
 	const unitCycles = 400 // one modular multiplication; calibrated offline
 	res, err := attacks.RecoverSlidingWindowSkeleton(sys, exp, unitCycles, cfg.Traces, r.Uint64())
 	if err != nil {
-		panic(fmt.Sprintf("experiments: sliding-window setup failed: %v", err))
+		return SlidingWindowExpResult{}, fmt.Errorf("experiments: sliding-window setup: %w", err)
 	}
-	return SlidingWindowExpResult{Config: cfg, Result: res}
+	return SlidingWindowExpResult{Config: cfg, Result: res}, nil
 }
 
 // String implements fmt.Stringer.
@@ -386,6 +449,18 @@ func (r SlidingWindowExpResult) String() string {
 	return fmt.Sprintf(
 		"Sliding-window exponentiation (§9.2 partial leakage), %d-bit key, %s:\n  %s\n",
 		r.Config.ExponentBits, r.Config.Model.Name, r.Result)
+}
+
+// Rows implements engine.Result.
+func (r SlidingWindowExpResult) Rows() []engine.Row {
+	return []engine.Row{{
+		engine.F("model", r.Config.Model.Name),
+		engine.F("exponent_bits", r.Config.ExponentBits),
+		engine.F("traces", r.Config.Traces),
+		engine.F("known_bits", r.Result.KnownBits),
+		engine.F("wrong_bits", r.Result.WrongBits),
+		engine.F("known_fraction", r.Result.KnownFraction()),
+	}}
 }
 
 // PredictorAblationConfig parameterizes the predictor-organization
@@ -423,25 +498,36 @@ type PredictorAblationRow struct {
 // PredictorAblationResult holds the ablation.
 type PredictorAblationResult struct {
 	Config PredictorAblationConfig
-	Rows   []PredictorAblationRow
+	Modes  []PredictorAblationRow
 }
 
 // RunPredictorAblation regenerates the ablation on the Skylake tables.
-func RunPredictorAblation(cfg PredictorAblationConfig) PredictorAblationResult {
+// The three BPU organizations run as independent units on the context's
+// worker pool with per-mode derived seeds.
+func RunPredictorAblation(ctx context.Context, cfg PredictorAblationConfig) (PredictorAblationResult, error) {
 	cfg = cfg.withDefaults()
 	res := PredictorAblationResult{Config: cfg}
-	for i, mode := range []bpu.Mode{bpu.BimodalOnly, bpu.Hybrid, bpu.GshareOnly} {
+	modes := []bpu.Mode{bpu.BimodalOnly, bpu.Hybrid, bpu.GshareOnly}
+	rows, err := engine.Map(ctx, len(modes), func(i int) (PredictorAblationRow, error) {
 		m := uarch.Skylake()
-		m.BPU.Mode = mode
-		c := RunCovert(CovertConfig{
+		m.BPU.Mode = modes[i]
+		c, err := RunCovert(ctx, CovertConfig{
 			Model: m, Setting: Isolated, Pattern: RandomBits,
-			Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed + uint64(i)*977,
+			Bits: cfg.Bits, Runs: cfg.Runs,
+			Seed: engine.DeriveSeed(cfg.Seed, "predictors", modes[i].String()),
 		})
-		res.Rows = append(res.Rows, PredictorAblationRow{
-			Mode: mode, ErrorRate: c.ErrorRate, SetupFailed: c.SetupFailed,
-		})
+		if err != nil {
+			return PredictorAblationRow{}, fmt.Errorf("predictor ablation %s: %w", modes[i], err)
+		}
+		return PredictorAblationRow{
+			Mode: modes[i], ErrorRate: c.ErrorRate, SetupFailed: c.SetupFailed,
+		}, nil
+	})
+	if err != nil {
+		return PredictorAblationResult{}, err
 	}
-	return res
+	res.Modes = rows
+	return res, nil
 }
 
 // String implements fmt.Stringer.
@@ -449,7 +535,7 @@ func (r PredictorAblationResult) String() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Predictor-organization ablation (§5): covert error by BPU mode")
 	fmt.Fprintln(&b, "(Skylake tables, isolated, random bits; 50% = channel closed)")
-	for _, row := range r.Rows {
+	for _, row := range r.Modes {
 		note := ""
 		if row.SetupFailed > 0 {
 			note = fmt.Sprintf("  (pre-attack search failed in %d run(s))", row.SetupFailed)
@@ -457,6 +543,19 @@ func (r PredictorAblationResult) String() string {
 		fmt.Fprintf(&b, "  %-10s %8s%s\n", row.Mode, stats.Percent(row.ErrorRate), note)
 	}
 	return b.String()
+}
+
+// Rows implements engine.Result: one row per BPU organization.
+func (r PredictorAblationResult) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Modes))
+	for _, row := range r.Modes {
+		rows = append(rows, engine.Row{
+			engine.F("mode", row.Mode.String()),
+			engine.F("error_rate", row.ErrorRate),
+			engine.F("setup_failed", row.SetupFailed),
+		})
+	}
+	return rows
 }
 
 // TimingChannelConfig parameterizes the §8 end-to-end comparison: the
@@ -494,16 +593,22 @@ type TimingChannelResult struct {
 
 // RunTimingChannel regenerates the comparison (Skylake, isolated, random
 // bits).
-func RunTimingChannel(cfg TimingChannelConfig) TimingChannelResult {
+func RunTimingChannel(ctx context.Context, cfg TimingChannelConfig) (TimingChannelResult, error) {
 	cfg = cfg.withDefaults()
 	base := CovertConfig{
 		Model: uarch.Skylake(), Setting: Isolated, Pattern: RandomBits,
 		Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed + 27,
 	}
-	pmc := RunCovert(base)
+	pmc, err := RunCovert(ctx, base)
+	if err != nil {
+		return TimingChannelResult{}, fmt.Errorf("timing channel (pmc): %w", err)
+	}
 	base.UseTiming = true
-	tsc := RunCovert(base)
-	return TimingChannelResult{Config: cfg, PMCError: pmc.ErrorRate, TSCError: tsc.ErrorRate}
+	tsc, err := RunCovert(ctx, base)
+	if err != nil {
+		return TimingChannelResult{}, fmt.Errorf("timing channel (tsc): %w", err)
+	}
+	return TimingChannelResult{Config: cfg, PMCError: pmc.ErrorRate, TSCError: tsc.ErrorRate}, nil
 }
 
 // String implements fmt.Stringer.
@@ -513,4 +618,14 @@ func (r TimingChannelResult) String() string {
 			"  misprediction PMC probing   %8s\n"+
 			"  rdtscp timing probing       %8s  (single-shot; Fig 8's m=1 predicts ~10%%)\n",
 		r.Config.Bits, stats.Percent(r.PMCError), stats.Percent(r.TSCError))
+}
+
+// Rows implements engine.Result.
+func (r TimingChannelResult) Rows() []engine.Row {
+	return []engine.Row{{
+		engine.F("bits", r.Config.Bits),
+		engine.F("runs", r.Config.Runs),
+		engine.F("pmc_error", r.PMCError),
+		engine.F("tsc_error", r.TSCError),
+	}}
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/cpu"
+	"branchscope/internal/engine"
 	"branchscope/internal/rng"
 	"branchscope/internal/uarch"
 )
@@ -65,23 +67,26 @@ type Fig2Result struct {
 }
 
 // RunFig2 regenerates Figure 2.
-func RunFig2(cfg Fig2Config) Fig2Result {
+func RunFig2(ctx context.Context, cfg Fig2Config) (Fig2Result, error) {
 	cfg = cfg.withDefaults()
 	res := Fig2Result{Config: cfg}
 	for mi, m := range cfg.Models {
 		r := rng.New(cfg.Seed + uint64(mi)*977 + 1)
 		sums := make([]float64, cfg.Iterations)
 		for trial := 0; trial < cfg.Trials; trial++ {
+			if err := ctx.Err(); err != nil {
+				return Fig2Result{}, fmt.Errorf("experiments: fig2: %w", err)
+			}
 			core := m.NewCore(r.Uint64())
-			ctx := core.NewContext(1)
+			hw := core.NewContext(1)
 			pattern := r.Bits(cfg.PatternBits)
 			const addr = 0x5000_1230
 			for iter := 0; iter < cfg.Iterations; iter++ {
-				before := ctx.ReadPMC(cpu.BranchMisses)
+				before := hw.ReadPMC(cpu.BranchMisses)
 				for _, taken := range pattern {
-					ctx.Branch(addr, taken)
+					hw.Branch(addr, taken)
 				}
-				sums[iter] += float64(ctx.ReadPMC(cpu.BranchMisses) - before)
+				sums[iter] += float64(hw.ReadPMC(cpu.BranchMisses) - before)
 			}
 		}
 		s := Fig2Series{Model: m.Name, Part: m.Part, MeanMisses: sums}
@@ -90,7 +95,7 @@ func RunFig2(cfg Fig2Config) Fig2Result {
 		}
 		res.Series = append(res.Series, s)
 	}
-	return res
+	return res, nil
 }
 
 // LearningHorizon returns the first iteration (1-based) at which the
@@ -127,4 +132,26 @@ func (r Fig2Result) String() string {
 		fmt.Fprintf(&b, "%s learns the pattern by iteration %d\n", s.Model, s.LearningHorizon())
 	}
 	return b.String()
+}
+
+// Rows implements engine.Result: one "point" row per (model, iteration)
+// and one "summary" row per model with its learning horizon.
+func (r Fig2Result) Rows() []engine.Row {
+	var rows []engine.Row
+	for _, s := range r.Series {
+		for i, m := range s.MeanMisses {
+			rows = append(rows, engine.Row{
+				engine.F("kind", "point"),
+				engine.F("model", s.Model),
+				engine.F("iteration", i+1),
+				engine.F("mean_misses", m),
+			})
+		}
+		rows = append(rows, engine.Row{
+			engine.F("kind", "summary"),
+			engine.F("model", s.Model),
+			engine.F("learning_horizon", s.LearningHorizon()),
+		})
+	}
+	return rows
 }

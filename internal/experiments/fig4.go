@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/noise"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
@@ -99,7 +101,7 @@ type Fig4Result struct {
 }
 
 // RunFig4 regenerates Figure 4.
-func RunFig4(cfg Fig4Config) Fig4Result {
+func RunFig4(ctx context.Context, cfg Fig4Config) (Fig4Result, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 4)
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
@@ -116,6 +118,9 @@ func RunFig4(cfg Fig4Config) Fig4Result {
 	res := Fig4Result{Config: cfg, Distribution: make(map[core.StateClass]float64)}
 	stable := 0
 	for i := 0; i < cfg.Blocks; i++ {
+		if err := ctx.Err(); err != nil {
+			return Fig4Result{}, fmt.Errorf("experiments: fig4: %w", err)
+		}
 		b := core.GenerateBlock(r, 0x6100_0000, cfg.BlockBranches)
 		a := core.AnalyzeBlock(spy, b, search)
 		res.Points = append(res.Points, Fig4Point{FreqTT: a.FreqTT, FreqNN: a.FreqNN, State: a.State})
@@ -128,7 +133,33 @@ func RunFig4(cfg Fig4Config) Fig4Result {
 		res.Distribution[k] /= float64(cfg.Blocks)
 	}
 	res.StableShare = float64(stable) / float64(cfg.Blocks)
-	return res
+	return res, nil
+}
+
+// Rows implements engine.Result: one "state" row per decoded state
+// class plus one "summary" row with the stability statistics.
+func (r Fig4Result) Rows() []engine.Row {
+	var rows []engine.Row
+	for _, s := range core.AllStateClasses() {
+		rows = append(rows, engine.Row{
+			engine.F("kind", "state"),
+			engine.F("state", s.String()),
+			engine.F("share", r.Distribution[s]),
+		})
+	}
+	var tt, nn []float64
+	for _, p := range r.Points {
+		tt = append(tt, p.FreqTT)
+		nn = append(nn, p.FreqNN)
+	}
+	rows = append(rows, engine.Row{
+		engine.F("kind", "summary"),
+		engine.F("blocks", r.Config.Blocks),
+		engine.F("stable_share", r.StableShare),
+		engine.F("median_freq_tt", stats.Median(tt)),
+		engine.F("median_freq_nn", stats.Median(nn)),
+	})
+	return rows
 }
 
 // String renders the state distribution (Figure 4b) and the stability

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
 	"branchscope/internal/uarch"
@@ -91,13 +93,16 @@ type Fig5Result struct {
 }
 
 // RunFig5 regenerates Figure 5.
-func RunFig5(cfg Fig5Config) Fig5Result {
+func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 5)
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
 	spy := sys.NewProcess("spy")
 	mapper := core.NewMapper(sys.Core(), spy, r.Split())
 	states := mapper.MapStates(cfg.Start, cfg.Addresses, cfg.BlockBranches)
+	if err := ctx.Err(); err != nil {
+		return Fig5Result{}, fmt.Errorf("experiments: fig5: %w", err)
+	}
 
 	// Coarse scan over powers of two, then a fine scan around the best
 	// (Figure 5b zooms into 16300–16450).
@@ -152,7 +157,28 @@ func RunFig5(cfg Fig5Config) Fig5Result {
 		}
 		res.AlignmentMatch = float64(agree) / float64(size)
 	}
-	return res
+	return res, nil
+}
+
+// Rows implements engine.Result: one "scan" row per probed window plus
+// one "summary" row with the discovery outcome.
+func (r Fig5Result) Rows() []engine.Row {
+	var rows []engine.Row
+	for _, s := range r.Scan {
+		rows = append(rows, engine.Row{
+			engine.F("kind", "scan"),
+			engine.F("window", s.Window),
+			engine.F("hamming_ratio", s.Ratio),
+		})
+	}
+	rows = append(rows, engine.Row{
+		engine.F("kind", "summary"),
+		engine.F("model", r.Config.Model.Name),
+		engine.F("discovered_size", r.DiscoveredSize),
+		engine.F("true_size", r.TrueSize),
+		engine.F("alignment_match", r.AlignmentMatch),
+	})
+	return rows
 }
 
 // String renders the discovery summary and curve extract.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/noise"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
@@ -51,7 +53,7 @@ type Fig6Result struct {
 }
 
 // RunFig6 regenerates the Figure 6 demonstration.
-func RunFig6(cfg Fig6Config) Fig6Result {
+func RunFig6(ctx context.Context, cfg Fig6Config) (Fig6Result, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 6)
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
@@ -64,12 +66,15 @@ func RunFig6(cfg Fig6Config) Fig6Result {
 		Search: core.SearchConfig{TargetAddr: victims.SecretBranchAddr, Focused: true},
 	})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: Fig6 session setup failed: %v", err))
+		return Fig6Result{}, fmt.Errorf("experiments: fig6 session setup: %w", err)
 	}
 
 	res := Fig6Result{Config: cfg, Original: cfg.Bits}
 	after := func() { noiseThread.Step(cfg.NoisePerBit) }
 	for range cfg.Bits {
+		if err := ctx.Err(); err != nil {
+			return Fig6Result{}, fmt.Errorf("experiments: fig6: %w", err)
+		}
 		sess.Prime()
 		victim.StepBranches(1)
 		after()
@@ -82,7 +87,28 @@ func RunFig6(cfg Fig6Config) Fig6Result {
 			res.Errors++
 		}
 	}
-	return res
+	return res, nil
+}
+
+// Rows implements engine.Result: one "bit" row per transmitted bit plus
+// one "summary" row with the error count.
+func (r Fig6Result) Rows() []engine.Row {
+	var rows []engine.Row
+	for i := range r.Original {
+		rows = append(rows, engine.Row{
+			engine.F("kind", "bit"),
+			engine.F("index", i),
+			engine.F("original", r.Original[i]),
+			engine.F("pattern", string(r.Patterns[i])),
+			engine.F("decoded", r.Decoded[i]),
+		})
+	}
+	rows = append(rows, engine.Row{
+		engine.F("kind", "summary"),
+		engine.F("bits", len(r.Original)),
+		engine.F("errors", r.Errors),
+	})
+	return rows
 }
 
 // String renders the figure's rows: original bits, spy measurements,

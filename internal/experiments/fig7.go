@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/cpu"
+	"branchscope/internal/engine"
 	"branchscope/internal/rng"
 	"branchscope/internal/stats"
 	"branchscope/internal/uarch"
@@ -18,9 +20,9 @@ const aliasStride = uint64(1) << 30
 
 // primeVia drives the PHT entry of target into the strong state for dir
 // using an aliased branch, leaving target's own icache line untouched.
-func primeVia(ctx *cpu.Context, target uint64, dir bool, times int) {
+func primeVia(hw *cpu.Context, target uint64, dir bool, times int) {
 	for i := 0; i < times; i++ {
-		ctx.Branch(target+aliasStride, dir)
+		hw.Branch(target+aliasStride, dir)
 	}
 }
 
@@ -75,11 +77,11 @@ type Fig7Result struct {
 }
 
 // RunFig7 regenerates Figure 7.
-func RunFig7(cfg Fig7Config) Fig7Result {
+func RunFig7(ctx context.Context, cfg Fig7Config) (Fig7Result, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 7)
 	core := cfg.Model.NewCore(r.Uint64())
-	ctx := core.NewContext(1)
+	hw := core.NewContext(1)
 
 	res := Fig7Result{Config: cfg}
 	const base = 0x5100_0000
@@ -88,24 +90,29 @@ func RunFig7(cfg Fig7Config) Fig7Result {
 		for _, miss := range []bool{false, true} {
 			lat := make([]uint64, 0, cfg.Samples)
 			for i := 0; i < cfg.Samples; i++ {
+				if i%4096 == 0 {
+					if err := ctx.Err(); err != nil {
+						return Fig7Result{}, fmt.Errorf("experiments: fig7: %w", err)
+					}
+				}
 				addr += 64 // fresh icache line and PHT entry per sample
 				prime := taken
 				if miss {
 					prime = !taken
 				}
-				primeVia(ctx, addr, prime, 4)
+				primeVia(hw, addr, prime, 4)
 				// First execution warms the instruction (not recorded).
-				ctx.Branch(addr, taken)
-				t0 := ctx.ReadTSC()
-				ctx.Branch(addr, taken)
-				lat = append(lat, ctx.ReadTSC()-t0)
+				hw.Branch(addr, taken)
+				t0 := hw.ReadTSC()
+				hw.Branch(addr, taken)
+				lat = append(lat, hw.ReadTSC()-t0)
 			}
 			res.Cases = append(res.Cases, Fig7Case{
 				Taken: taken, Miss: miss, Summary: stats.SummarizeUint64(lat),
 			})
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Case returns the population for a direction/prediction pair.
@@ -131,4 +138,21 @@ func (r Fig7Result) String() string {
 	tk := r.Case(true, true).Summary.Mean - r.Case(true, false).Summary.Mean
 	fmt.Fprintf(&b, "misprediction slowdown: %.1f cycles (not-taken), %.1f cycles (taken)\n", nt, tk)
 	return b.String()
+}
+
+// Rows implements engine.Result: one row per latency population.
+func (r Fig7Result) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Cases))
+	for _, c := range r.Cases {
+		rows = append(rows, engine.Row{
+			engine.F("case", c.Label()),
+			engine.F("taken", c.Taken),
+			engine.F("miss", c.Miss),
+			engine.F("mean", c.Summary.Mean),
+			engine.F("min", c.Summary.Min),
+			engine.F("max", c.Summary.Max),
+			engine.F("stddev", c.Summary.StdDev),
+		})
+	}
+	return rows
 }

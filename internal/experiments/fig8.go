@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/cpu"
+	"branchscope/internal/engine"
 	"branchscope/internal/rng"
 	"branchscope/internal/stats"
 	"branchscope/internal/uarch"
@@ -59,45 +61,50 @@ type Fig8Result struct {
 
 // episode measures one hit pair and one miss pair at fresh addresses,
 // returning (H1, H2, M1, M2).
-func fig8Episode(ctx *cpu.Context, addr *uint64) (h1, h2, m1, m2 uint64) {
+func fig8Episode(hw *cpu.Context, addr *uint64) (h1, h2, m1, m2 uint64) {
 	// Hit pair: primed to the actual direction, both executions
 	// predicted; the first runs from a cold instruction line.
 	*addr += 64
-	primeVia(ctx, *addr, true, 4)
-	t0 := ctx.ReadTSC()
-	ctx.Branch(*addr, true)
-	t1 := ctx.ReadTSC()
-	ctx.Branch(*addr, true)
-	t2 := ctx.ReadTSC()
+	primeVia(hw, *addr, true, 4)
+	t0 := hw.ReadTSC()
+	hw.Branch(*addr, true)
+	t1 := hw.ReadTSC()
+	hw.Branch(*addr, true)
+	t2 := hw.ReadTSC()
 	h1, h2 = t1-t0, t2-t1
 
 	// Miss pair: primed opposite; both executions mispredict (SN needs
 	// two taken outcomes before the prediction flips).
 	*addr += 64
-	primeVia(ctx, *addr, false, 4)
-	t0 = ctx.ReadTSC()
-	ctx.Branch(*addr, true)
-	t1 = ctx.ReadTSC()
-	ctx.Branch(*addr, true)
-	t2 = ctx.ReadTSC()
+	primeVia(hw, *addr, false, 4)
+	t0 = hw.ReadTSC()
+	hw.Branch(*addr, true)
+	t1 = hw.ReadTSC()
+	hw.Branch(*addr, true)
+	t2 = hw.ReadTSC()
 	m1, m2 = t1-t0, t2-t1
 	return h1, h2, m1, m2
 }
 
 // RunFig8 regenerates Figure 8.
-func RunFig8(cfg Fig8Config) Fig8Result {
+func RunFig8(ctx context.Context, cfg Fig8Config) (Fig8Result, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 8)
 	core := cfg.Model.NewCore(r.Uint64())
-	ctx := core.NewContext(1)
+	hw := core.NewContext(1)
 	res := Fig8Result{Config: cfg}
 	addr := uint64(0x5200_0000)
 	for m := 1; m <= cfg.MaxMeasurements; m += 2 { // the paper plots odd counts 1,3,...,19
 		errFirst, errSecond := 0, 0
 		for trial := 0; trial < cfg.Trials; trial++ {
+			if trial%512 == 0 {
+				if err := ctx.Err(); err != nil {
+					return Fig8Result{}, fmt.Errorf("experiments: fig8: %w", err)
+				}
+			}
 			var h1s, h2s, m1s, m2s []uint64
 			for k := 0; k < m; k++ {
-				h1, h2, m1, m2 := fig8Episode(ctx, &addr)
+				h1, h2, m1, m2 := fig8Episode(hw, &addr)
 				h1s, h2s = append(h1s, h1), append(h2s, h2)
 				m1s, m2s = append(m1s, m1), append(m2s, m2)
 			}
@@ -114,7 +121,20 @@ func RunFig8(cfg Fig8Config) Fig8Result {
 			ErrorSecond:  float64(errSecond) / float64(cfg.Trials),
 		})
 	}
-	return res
+	return res, nil
+}
+
+// Rows implements engine.Result: one row per averaging-window size.
+func (r Fig8Result) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, engine.Row{
+			engine.F("measurements", p.Measurements),
+			engine.F("error_first", p.ErrorFirst),
+			engine.F("error_second", p.ErrorSecond),
+		})
+	}
+	return rows
 }
 
 // String renders the two error curves.

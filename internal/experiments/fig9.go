@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/rng"
 	"branchscope/internal/stats"
 	"branchscope/internal/uarch"
@@ -93,11 +95,11 @@ func fig9Expected(s core.StateClass, probeTaken bool) core.Pattern {
 }
 
 // RunFig9 regenerates Figure 9.
-func RunFig9(cfg Fig9Config) Fig9Result {
+func RunFig9(ctx context.Context, cfg Fig9Config) (Fig9Result, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 9)
 	cpuCore := cfg.Model.NewCore(r.Uint64())
-	ctx := cpuCore.NewContext(1)
+	hw := cpuCore.NewContext(1)
 	res := Fig9Result{Config: cfg}
 	addr := uint64(0x5300_0000)
 	states := []core.StateClass{core.StateST, core.StateWT, core.StateWN, core.StateSN}
@@ -105,11 +107,16 @@ func RunFig9(cfg Fig9Config) Fig9Result {
 		for _, st := range states {
 			var first, second []uint64
 			for i := 0; i < cfg.Samples; i++ {
+				if i%4096 == 0 {
+					if err := ctx.Err(); err != nil {
+						return Fig9Result{}, fmt.Errorf("experiments: fig9: %w", err)
+					}
+				}
 				addr += 64
 				for _, dir := range fig9Prime(st) {
-					ctx.Branch(addr+aliasStride, dir)
+					hw.Branch(addr+aliasStride, dir)
 				}
-				sample := core.ProbeTSC(ctx, addr, probeTaken)
+				sample := core.ProbeTSC(hw, addr, probeTaken)
 				first = append(first, sample.First)
 				second = append(second, sample.Second)
 			}
@@ -122,7 +129,24 @@ func RunFig9(cfg Fig9Config) Fig9Result {
 			})
 		}
 	}
-	return res
+	return res, nil
+}
+
+// Rows implements engine.Result: one row per (state, probe) cell.
+func (r Fig9Result) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		rows = append(rows, engine.Row{
+			engine.F("state", c.State.String()),
+			engine.F("probe_taken", c.ProbeTaken),
+			engine.F("expected_pattern", string(c.Expected)),
+			engine.F("first_mean", c.First.Mean),
+			engine.F("first_stddev", c.First.StdDev),
+			engine.F("second_mean", c.Second.Mean),
+			engine.F("second_stddev", c.Second.StdDev),
+		})
+	}
+	return rows
 }
 
 // String renders both probe-flavour panels.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/fsm"
 	"branchscope/internal/noise"
 	"branchscope/internal/rng"
@@ -66,21 +68,27 @@ type FSMWidthRow struct {
 // FSMWidthResult holds the ablation.
 type FSMWidthResult struct {
 	Config FSMWidthConfig
-	Rows   []FSMWidthRow
+	Points []FSMWidthRow
 }
 
 // RunFSMWidth regenerates the counter-width ablation on Skylake-size
-// tables with symmetric Saturating(w, w) counters.
-func RunFSMWidth(cfg FSMWidthConfig) FSMWidthResult {
+// tables with symmetric Saturating(w, w) counters. The per-width units
+// run on the context's worker pool; each width's seed stream depends
+// only on (seed, width), so results are scheduling-independent.
+func RunFSMWidth(ctx context.Context, cfg FSMWidthConfig) (FSMWidthResult, error) {
 	cfg = cfg.withDefaults()
 	res := FSMWidthResult{Config: cfg}
-	for _, w := range cfg.Widths {
-		res.Rows = append(res.Rows, runFSMWidthOne(cfg, w))
+	rows, err := engine.Map(ctx, len(cfg.Widths), func(i int) (FSMWidthRow, error) {
+		return runFSMWidthOne(ctx, cfg, cfg.Widths[i])
+	})
+	if err != nil {
+		return FSMWidthResult{}, err
 	}
-	return res
+	res.Points = rows
+	return res, nil
 }
 
-func runFSMWidthOne(cfg FSMWidthConfig, w int) FSMWidthRow {
+func runFSMWidthOne(ctx context.Context, cfg FSMWidthConfig, w int) (FSMWidthRow, error) {
 	row := FSMWidthRow{Width: w, SearchCandidates: -1, ErrorRate: 0.5}
 	m := uarch.Skylake()
 	m.Name = fmt.Sprintf("Skylake-%dbitFSM", w)
@@ -115,7 +123,7 @@ func runFSMWidthOne(cfg FSMWidthConfig, w int) FSMWidthRow {
 		}
 	}
 	if err != nil {
-		return row
+		return row, nil
 	}
 	row.SearchCandidates = tried
 	row.PrimedState = ms.Targets()[0].Primed
@@ -123,6 +131,11 @@ func runFSMWidthOne(cfg FSMWidthConfig, w int) FSMWidthRow {
 	budget := m.NoiseIsolatedBranches
 	got := make([]bool, len(secret))
 	for i := range secret {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return FSMWidthRow{}, fmt.Errorf("experiments: fsmwidth %d: %w", w, err)
+			}
+		}
 		ms.Prime()
 		noiseThread.Step(budget / 2)
 		victim.StepBranches(1)
@@ -130,7 +143,7 @@ func runFSMWidthOne(cfg FSMWidthConfig, w int) FSMWidthRow {
 		got[i] = ms.ProbeAll()[0]
 	}
 	row.ErrorRate = stats.ErrorRate(got, secret)
-	return row
+	return row, nil
 }
 
 // String implements fmt.Stringer.
@@ -138,7 +151,7 @@ func (r FSMWidthResult) String() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Counter-width ablation (§10.2 FSM changes): covert error by counter depth")
 	fmt.Fprintln(&b, "(Skylake tables, isolated noise, generalized per-state dictionaries)")
-	for _, row := range r.Rows {
+	for _, row := range r.Points {
 		if row.SearchCandidates < 0 {
 			fmt.Fprintf(&b, "  %d state(s)/side: no usable block found — channel closed at this width\n", row.Width)
 			continue
@@ -147,4 +160,18 @@ func (r FSMWidthResult) String() string {
 			row.Width, stats.Percent(row.ErrorRate), row.PrimedState, row.SearchCandidates)
 	}
 	return b.String()
+}
+
+// Rows implements engine.Result: one row per counter width.
+func (r FSMWidthResult) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Points))
+	for _, row := range r.Points {
+		rows = append(rows, engine.Row{
+			engine.F("width", row.Width),
+			engine.F("error_rate", row.ErrorRate),
+			engine.F("primed_state", row.PrimedState.String()),
+			engine.F("search_candidates", row.SearchCandidates),
+		})
+	}
+	return rows
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/bpu"
+	"branchscope/internal/engine"
 	"branchscope/internal/sched"
 	"branchscope/internal/stats"
 	"branchscope/internal/uarch"
@@ -56,11 +58,13 @@ type MitigationRow struct {
 // MitigationsResult holds the ablation.
 type MitigationsResult struct {
 	Config MitigationsConfig
-	Rows   []MitigationRow
+	Cells  []MitigationRow
 }
 
-// RunMitigations regenerates the defense ablation.
-func RunMitigations(cfg MitigationsConfig) MitigationsResult {
+// RunMitigations regenerates the defense ablation. The five defenses
+// run as independent units on the context's worker pool with per-defense
+// derived seeds.
+func RunMitigations(ctx context.Context, cfg MitigationsConfig) (MitigationsResult, error) {
 	cfg = cfg.withDefaults()
 	res := MitigationsResult{Config: cfg}
 	cases := []bpu.Mitigation{
@@ -70,7 +74,8 @@ func RunMitigations(cfg MitigationsConfig) MitigationsResult {
 		bpu.MitigationNoPredictSensitive,
 		bpu.MitigationStochasticFSM,
 	}
-	for i, mit := range cases {
+	rows, err := engine.Map(ctx, len(cases), func(i int) (MitigationRow, error) {
+		mit := cases[i]
 		m := uarch.Skylake()
 		m.BPU.Mitigation = mit
 		switch mit {
@@ -89,18 +94,25 @@ func RunMitigations(cfg MitigationsConfig) MitigationsResult {
 				sys.Core().BPU().MarkSensitive(victims.SecretBranchAddr-0x40, victims.SecretBranchAddr+0x40)
 			}
 		}
-		c := RunCovert(CovertConfig{
+		c, err := RunCovert(ctx, CovertConfig{
 			Model: m, Setting: Isolated, Pattern: RandomBits,
 			Bits: cfg.Bits, Runs: cfg.Runs, Prepare: prepare,
-			Seed: cfg.Seed + uint64(i)*131,
+			Seed: engine.DeriveSeed(cfg.Seed, "mitigations", mit.String()),
 		})
-		res.Rows = append(res.Rows, MitigationRow{
+		if err != nil {
+			return MitigationRow{}, fmt.Errorf("mitigation %s: %w", mit, err)
+		}
+		return MitigationRow{
 			Mitigation:      mit,
 			ErrorRate:       c.ErrorRate,
 			SetupFailedRuns: c.SetupFailed,
-		})
+		}, nil
+	})
+	if err != nil {
+		return MitigationsResult{}, err
 	}
-	return res
+	res.Cells = rows
+	return res, nil
 }
 
 // String renders the ablation table.
@@ -108,7 +120,7 @@ func (r MitigationsResult) String() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Mitigation ablation (§10.2): covert-channel error under each defense")
 	fmt.Fprintf(&b, "(Skylake, isolated, random bits; 50%% = channel fully closed)\n")
-	for _, row := range r.Rows {
+	for _, row := range r.Cells {
 		note := ""
 		if row.SetupFailedRuns > 0 {
 			note = fmt.Sprintf("  (pre-attack search failed in %d run(s))", row.SetupFailedRuns)
@@ -116,4 +128,17 @@ func (r MitigationsResult) String() string {
 		fmt.Fprintf(&b, "  %-22s %8s%s\n", row.Mitigation, stats.Percent(row.ErrorRate), note)
 	}
 	return b.String()
+}
+
+// Rows implements engine.Result: one row per defense.
+func (r MitigationsResult) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Cells))
+	for _, row := range r.Cells {
+		rows = append(rows, engine.Row{
+			engine.F("mitigation", row.Mitigation.String()),
+			engine.F("error_rate", row.ErrorRate),
+			engine.F("setup_failed_runs", row.SetupFailedRuns),
+		})
+	}
+	return rows
 }

@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"branchscope/internal/uarch"
+	"branchscope/internal/engine"
 )
 
 // Experiment is a runnable paper artifact for the cmd/experiments
@@ -15,9 +16,10 @@ type Experiment struct {
 	Artifact string
 	// Description summarizes what is measured.
 	Description string
-	// Run executes the experiment and returns its printable result.
-	// quick selects the test-scale configuration.
-	Run func(quick bool, seed uint64) fmt.Stringer
+	// Run executes the experiment under the engine contract: the result
+	// is a function of cfg alone, ctx carries cancellation and the
+	// worker pool for internal fan-out.
+	Run func(ctx context.Context, cfg engine.Config) (engine.Result, error)
 }
 
 // All returns every experiment in paper order.
@@ -26,271 +28,267 @@ func All() []Experiment {
 		{
 			ID: "fig2", Artifact: "Figure 2",
 			Description: "selection-logic learning curve for an irregular branch pattern",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := Fig2Config{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := Fig2Config{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickFig2Config()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunFig2(cfg)
+				return RunFig2(ctx, cfg)
 			},
 		},
 		{
 			ID: "table1", Artifact: "Table 1",
 			Description: "prime/target/probe FSM transitions on all three CPUs",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				var all multiResult
-				for _, m := range uarch.All() {
-					all = append(all, RunTable1(m, seed))
-				}
-				return all
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				return RunTable1All(ctx, ec.Seed)
 			},
 		},
 		{
 			ID: "fig4", Artifact: "Figure 4",
 			Description: "distribution of PHT states after randomization blocks",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := Fig4Config{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := Fig4Config{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickFig4Config()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunFig4(cfg)
+				return RunFig4(ctx, cfg)
 			},
 		},
 		{
 			ID: "fig5", Artifact: "Figure 5",
 			Description: "PHT mapping and size discovery via Hamming windows",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := Fig5Config{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := Fig5Config{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickFig5Config()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunFig5(cfg)
+				return RunFig5(ctx, cfg)
 			},
 		},
 		{
 			ID: "fig6", Artifact: "Figure 6",
 			Description: "covert-channel decoding demonstration",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				return RunFig6(Fig6Config{Seed: seed})
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				return RunFig6(ctx, Fig6Config{Seed: ec.Seed})
 			},
 		},
 		{
 			ID: "table2", Artifact: "Table 2",
 			Description: "covert-channel error rates: 3 CPUs x settings x patterns",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := Table2Config{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := Table2Config{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickTable2Config()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunTable2(cfg)
+				return RunTable2(ctx, cfg)
 			},
 		},
 		{
 			ID: "fig7", Artifact: "Figure 7",
 			Description: "branch latency distributions, hit vs miss",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := Fig7Config{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := Fig7Config{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickFig7Config()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunFig7(cfg)
+				return RunFig7(ctx, cfg)
 			},
 		},
 		{
 			ID: "fig8", Artifact: "Figure 8",
 			Description: "timing-detection error vs number of measurements",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := Fig8Config{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := Fig8Config{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickFig8Config()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunFig8(cfg)
+				return RunFig8(ctx, cfg)
 			},
 		},
 		{
 			ID: "fig9", Artifact: "Figure 9",
 			Description: "probe latency by primed PHT state",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := Fig9Config{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := Fig9Config{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickFig9Config()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunFig9(cfg)
+				return RunFig9(ctx, cfg)
 			},
 		},
 		{
 			ID: "table3", Artifact: "Table 3",
 			Description: "covert channel with an SGX-enclave sender",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := Table3Config{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := Table3Config{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickTable3Config()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunTable3(cfg)
+				return RunTable3(ctx, cfg)
 			},
 		},
 		{
 			ID: "mitigations", Artifact: "§10.2 (extension)",
 			Description: "covert-channel error under each proposed hardware defense",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := MitigationsConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := MitigationsConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickMitigationsConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunMitigations(cfg)
+				return RunMitigations(ctx, cfg)
 			},
 		},
 		{
 			ID: "montgomery", Artifact: "§9.2",
 			Description: "Montgomery-ladder exponent recovery",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := MontgomeryConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := MontgomeryConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickMontgomeryConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunMontgomery(cfg)
+				return RunMontgomery(ctx, cfg)
 			},
 		},
 		{
 			ID: "jpeg", Artifact: "§9.2",
 			Description: "libjpeg IDCT block-structure recovery",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := JPEGConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := JPEGConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickJPEGConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunJPEG(cfg)
+				return RunJPEG(ctx, cfg)
 			},
 		},
 		{
 			ID: "aslr", Artifact: "§9.2",
 			Description: "ASLR slide recovery via PHT collision scanning",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := ASLRConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := ASLRConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickASLRConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunASLR(cfg)
+				return RunASLR(ctx, cfg)
 			},
 		},
 		{
 			ID: "ifconversion", Artifact: "§10.1 (extension)",
 			Description: "attack vs the if-converted (branchless) Montgomery ladder",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := IfConversionConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := IfConversionConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickIfConversionConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunIfConversion(cfg)
+				return RunIfConversion(ctx, cfg)
 			},
 		},
 		{
 			ID: "poisoning", Artifact: "§1 (extension)",
 			Description: "branch poisoning: forcing victim mispredictions on demand",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := PoisoningConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := PoisoningConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickPoisoningConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunPoisoning(cfg)
+				return RunPoisoning(ctx, cfg)
 			},
 		},
 		{
 			ID: "detection", Artifact: "§10.2 (extension)",
 			Description: "attack-footprint detector vs attacker and benign workloads",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := DetectionConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := DetectionConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickDetectionConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunDetection(cfg)
+				return RunDetection(ctx, cfg)
 			},
 		},
 		{
 			ID: "slidingwindow", Artifact: "§9.2 (extension)",
 			Description: "partial key recovery from a sliding-window exponentiation",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := SlidingWindowConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := SlidingWindowConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickSlidingWindowConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunSlidingWindow(cfg)
+				return RunSlidingWindow(ctx, cfg)
 			},
 		},
 		{
 			ID: "smt", Artifact: "§1 (extension)",
 			Description: "cross-hyperthread covert channel without branch-granular control",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := SMTConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := SMTConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickSMTConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunSMT(cfg)
+				return RunSMT(ctx, cfg)
 			},
 		},
 		{
 			ID: "predictors", Artifact: "§5 (extension)",
 			Description: "covert error by predictor organization (bimodal/hybrid/gshare)",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := PredictorAblationConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := PredictorAblationConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickPredictorAblationConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunPredictorAblation(cfg)
+				return RunPredictorAblation(ctx, cfg)
 			},
 		},
 		{
 			ID: "timingchannel", Artifact: "§8 (extension)",
 			Description: "covert channel with PMC vs rdtscp-only probing",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := TimingChannelConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := TimingChannelConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickTimingChannelConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunTimingChannel(cfg)
+				return RunTimingChannel(ctx, cfg)
 			},
 		},
 		{
 			ID: "fsmwidth", Artifact: "§10.2 (extension)",
 			Description: "counter-width ablation: do wider saturating counters stop the attack?",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := FSMWidthConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := FSMWidthConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickFSMWidthConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunFSMWidth(cfg)
+				return RunFSMWidth(ctx, cfg)
 			},
 		},
 		{
 			ID: "btb", Artifact: "§11 (baseline)",
 			Description: "BranchScope vs the prior-work BTB eviction channel",
-			Run: func(quick bool, seed uint64) fmt.Stringer {
-				cfg := BTBBaselineConfig{Seed: seed}
-				if quick {
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := BTBBaselineConfig{Seed: ec.Seed}
+				if ec.Quick {
 					cfg = QuickBTBBaselineConfig()
-					cfg.Seed = seed
+					cfg.Seed = ec.Seed
 				}
-				return RunBTBBaseline(cfg)
+				return RunBTBBaseline(ctx, cfg)
 			},
 		},
 	}
@@ -306,14 +304,16 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// multiResult concatenates several results.
-type multiResult []fmt.Stringer
-
-// String implements fmt.Stringer.
-func (m multiResult) String() string {
-	out := ""
-	for _, r := range m {
-		out += r.String() + "\n"
+// Tasks adapts a slice of experiments to engine tasks for the runner.
+func Tasks(exps []Experiment) []engine.Task {
+	tasks := make([]engine.Task, len(exps))
+	for i, e := range exps {
+		tasks[i] = engine.Task{
+			ID:          e.ID,
+			Artifact:    e.Artifact,
+			Description: e.Description,
+			Run:         e.Run,
+		}
 	}
-	return out
+	return tasks
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
 	"branchscope/internal/stats"
@@ -75,8 +77,19 @@ func (r SMTResult) String() string {
 		stats.Percent(r.ErrorRate))
 }
 
+// Rows implements engine.Result.
+func (r SMTResult) Rows() []engine.Row {
+	return []engine.Row{{
+		engine.F("model", r.Config.Model.Name),
+		engine.F("bits", r.Config.Bits),
+		engine.F("repeats", r.Config.Repeats),
+		engine.F("slice_jitter", r.Config.SliceJitter),
+		engine.F("error_rate", r.ErrorRate),
+	}}
+}
+
 // RunSMT measures the cross-hyperthread covert channel.
-func RunSMT(cfg SMTConfig) SMTResult {
+func RunSMT(ctx context.Context, cfg SMTConfig) (SMTResult, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 19)
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
@@ -89,7 +102,7 @@ func RunSMT(cfg SMTConfig) SMTResult {
 		Search: core.SearchConfig{TargetAddr: victims.SecretBranchAddr, Focused: true},
 	})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: smt setup failed: %v", err))
+		return SMTResult{}, fmt.Errorf("experiments: smt setup: %w", err)
 	}
 
 	// The receiver samples per bit slot: Samples prime–slice–probe
@@ -102,6 +115,11 @@ func RunSMT(cfg SMTConfig) SMTResult {
 	got := make([]bool, len(secret))
 	total := 0 // sender instructions granted so far
 	for i := range secret {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return SMTResult{}, fmt.Errorf("experiments: smt: %w", err)
+			}
+		}
 		votes := 0
 		for s := 0; s < cfg.Samples; s++ {
 			ideal := i*slot + (s+1)*victims.PacedIteration
@@ -123,5 +141,5 @@ func RunSMT(cfg SMTConfig) SMTResult {
 		}
 		got[i] = votes*2 > cfg.Samples
 	}
-	return SMTResult{Config: cfg, ErrorRate: stats.ErrorRate(got, secret)}
+	return SMTResult{Config: cfg, ErrorRate: stats.ErrorRate(got, secret)}, nil
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/uarch"
 )
 
@@ -20,7 +22,7 @@ type Table1Row struct {
 // Table1Result holds the eight rows for one model.
 type Table1Result struct {
 	Model string
-	Rows  []Table1Row
+	Entries []Table1Row
 }
 
 // RunTable1 reproduces the §6.1 prime/target/probe experiment on one
@@ -28,27 +30,69 @@ type Table1Result struct {
 // executed once in the target stage, and probed twice, with the
 // prediction outcome of each probe execution read from the PMC. A fresh
 // machine is used per row so the branch truly has no history.
-func RunTable1(m uarch.Model, seed uint64) Table1Result {
+func RunTable1(ctx context.Context, m uarch.Model, seed uint64) (Table1Result, error) {
 	res := Table1Result{Model: m.Name}
 	dirs := map[byte]bool{'T': true, 'N': false}
 	for _, prime := range []string{"TTT", "NNN"} {
 		for _, target := range []string{"T", "N"} {
 			for _, probe := range []string{"TT", "NN"} {
+				if err := ctx.Err(); err != nil {
+					return Table1Result{}, fmt.Errorf("experiments: table1: %w", err)
+				}
 				c := m.NewCore(seed)
-				ctx := c.NewContext(1)
+				hw := c.NewContext(1)
 				const addr = 0x7700_4410
 				for i := range prime {
-					ctx.Branch(addr, dirs[prime[i]])
+					hw.Branch(addr, dirs[prime[i]])
 				}
-				ctx.Branch(addr, dirs[target[0]])
-				pat := core.ProbePMC(ctx, addr, dirs[probe[0]])
-				res.Rows = append(res.Rows, Table1Row{
+				hw.Branch(addr, dirs[target[0]])
+				pat := core.ProbePMC(hw, addr, dirs[probe[0]])
+				res.Entries = append(res.Entries, Table1Row{
 					Prime: prime, Target: target, Probe: probe, Observation: pat,
 				})
 			}
 		}
 	}
-	return res
+	return res, nil
+}
+
+// Table1AllResult is Table 1 reproduced on every simulated CPU.
+type Table1AllResult struct {
+	Results []Table1Result
+}
+
+// RunTable1All reproduces Table 1 on all three CPUs. The per-model
+// sub-runs execute on the context's worker pool (see engine.WithPool);
+// each model's seed is derived from (seed, "table1", model name) so the
+// output is identical at any parallelism level.
+func RunTable1All(ctx context.Context, seed uint64) (Table1AllResult, error) {
+	models := uarch.All()
+	results, err := engine.Map(ctx, len(models), func(i int) (Table1Result, error) {
+		return RunTable1(ctx, models[i], engine.DeriveSeed(seed, "table1", models[i].Name))
+	})
+	if err != nil {
+		return Table1AllResult{}, err
+	}
+	return Table1AllResult{Results: results}, nil
+}
+
+// String implements fmt.Stringer.
+func (r Table1AllResult) String() string {
+	var b strings.Builder
+	for _, m := range r.Results {
+		b.WriteString(m.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Rows implements engine.Result.
+func (r Table1AllResult) Rows() []engine.Row {
+	var rows []engine.Row
+	for _, m := range r.Results {
+		rows = append(rows, m.Rows()...)
+	}
+	return rows
 }
 
 // PaperTable1 returns the paper's reported observations for a model:
@@ -75,10 +119,10 @@ func PaperTable1(skylake bool) []core.Pattern {
 // MatchesPaper reports whether every observed row equals the paper's.
 func (r Table1Result) MatchesPaper() bool {
 	want := PaperTable1(r.Model == "Skylake")
-	if len(r.Rows) != len(want) {
+	if len(r.Entries) != len(want) {
 		return false
 	}
-	for i, row := range r.Rows {
+	for i, row := range r.Entries {
 		if row.Observation != want[i] {
 			return false
 		}
@@ -92,7 +136,7 @@ func (r Table1Result) String() string {
 	fmt.Fprintf(&b, "Table 1: FSM transitions for a single PHT entry (%s)\n", r.Model)
 	fmt.Fprintf(&b, "%-6s %-7s %-6s %s\n", "Prime", "Target", "Probe", "Observation")
 	want := PaperTable1(r.Model == "Skylake")
-	for i, row := range r.Rows {
+	for i, row := range r.Entries {
 		marker := ""
 		if row.Observation != want[i] {
 			marker = "  <- differs from paper"
@@ -100,4 +144,21 @@ func (r Table1Result) String() string {
 		fmt.Fprintf(&b, "%-6s %-7s %-6s %s%s\n", row.Prime, row.Target, row.Probe, row.Observation, marker)
 	}
 	return b.String()
+}
+
+// Rows implements engine.Result.
+func (r Table1Result) Rows() []engine.Row {
+	want := PaperTable1(r.Model == "Skylake")
+	rows := make([]engine.Row, 0, len(r.Entries))
+	for i, row := range r.Entries {
+		rows = append(rows, engine.Row{
+			engine.F("model", r.Model),
+			engine.F("prime", row.Prime),
+			engine.F("target", row.Target),
+			engine.F("probe", row.Probe),
+			engine.F("observation", string(row.Observation)),
+			engine.F("matches_paper", row.Observation == want[i]),
+		})
+	}
+	return rows
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"branchscope/internal/engine"
 	"branchscope/internal/stats"
 	"branchscope/internal/uarch"
 )
@@ -55,26 +57,44 @@ type Table2Row struct {
 	Rates [3]float64
 }
 
-// RunTable2 regenerates Table 2.
-func RunTable2(cfg Table2Config) Table2Result {
+// RunTable2 regenerates Table 2. The grid's model × setting cells run
+// as independent units on the context's worker pool (engine.WithPool);
+// each cell's seed is derived from (seed, "table2", model, setting,
+// pattern), so the table is identical at any parallelism level.
+func RunTable2(ctx context.Context, cfg Table2Config) (Table2Result, error) {
 	cfg = cfg.withDefaults()
 	res := Table2Result{Config: cfg}
-	seed := cfg.Seed
+	type unit struct {
+		model   uarch.Model
+		setting Setting
+	}
+	var units []unit
 	for _, m := range cfg.Models {
 		for _, setting := range []Setting{Isolated, Noisy} {
-			row := Table2Row{Model: m.Name, Setting: setting}
-			for _, pat := range []BitPattern{AllZeros, AllOnes, RandomBits} {
-				seed++
-				c := RunCovert(CovertConfig{
-					Model: m, Setting: setting, Pattern: pat,
-					Bits: cfg.Bits, Runs: cfg.Runs, Seed: seed,
-				})
-				row.Rates[pat] = c.ErrorRate
-			}
-			res.Cells = append(res.Cells, row)
+			units = append(units, unit{m, setting})
 		}
 	}
-	return res
+	cells, err := engine.Map(ctx, len(units), func(i int) (Table2Row, error) {
+		u := units[i]
+		row := Table2Row{Model: u.model.Name, Setting: u.setting}
+		for _, pat := range []BitPattern{AllZeros, AllOnes, RandomBits} {
+			c, err := RunCovert(ctx, CovertConfig{
+				Model: u.model, Setting: u.setting, Pattern: pat,
+				Bits: cfg.Bits, Runs: cfg.Runs,
+				Seed: engine.DeriveSeed(cfg.Seed, "table2", u.model.Name, u.setting.String(), pat.String()),
+			})
+			if err != nil {
+				return Table2Row{}, fmt.Errorf("table2 %s %s %s: %w", u.model.Name, u.setting, pat, err)
+			}
+			row.Rates[pat] = c.ErrorRate
+		}
+		return row, nil
+	})
+	if err != nil {
+		return Table2Result{}, err
+	}
+	res.Cells = cells
+	return res, nil
 }
 
 // String renders the grid in the paper's layout.
@@ -91,4 +111,24 @@ func (r Table2Result) String() string {
 			stats.Percent(row.Rates[RandomBits]))
 	}
 	return b.String()
+}
+
+// rowJSON flattens one Table2Row-shaped line into an export row.
+func (row Table2Row) rowJSON() engine.Row {
+	return engine.Row{
+		engine.F("model", row.Model),
+		engine.F("setting", row.Setting.String()),
+		engine.F("all_zeros", row.Rates[AllZeros]),
+		engine.F("all_ones", row.Rates[AllOnes]),
+		engine.F("random", row.Rates[RandomBits]),
+	}
+}
+
+// Rows implements engine.Result.
+func (r Table2Result) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Cells))
+	for _, row := range r.Cells {
+		rows = append(rows, row.rowJSON())
+	}
+	return rows
 }

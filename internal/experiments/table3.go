@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"branchscope/internal/engine"
 	"branchscope/internal/stats"
 	"branchscope/internal/uarch"
 )
@@ -35,28 +37,38 @@ func QuickTable3Config() Table3Config {
 // Table3Result holds the two SGX rows.
 type Table3Result struct {
 	Config Table3Config
-	Rows   []Table2Row // reuses the row shape: setting × three patterns
+	Cells  []Table2Row // reuses the row shape: setting × three patterns
 }
 
-// RunTable3 regenerates Table 3.
-func RunTable3(cfg Table3Config) Table3Result {
+// RunTable3 regenerates Table 3. The two setting rows run as
+// independent units on the context's worker pool, with per-cell seeds
+// derived from (seed, "table3", setting, pattern).
+func RunTable3(ctx context.Context, cfg Table3Config) (Table3Result, error) {
 	cfg = cfg.withDefaults()
 	m := uarch.Skylake()
 	res := Table3Result{Config: cfg}
-	seed := cfg.Seed + 0x3600                            // distinct stream from Table 2
-	for _, setting := range []Setting{Noisy, Isolated} { // the paper lists noise first
+	settings := []Setting{Noisy, Isolated} // the paper lists noise first
+	rows, err := engine.Map(ctx, len(settings), func(i int) (Table2Row, error) {
+		setting := settings[i]
 		row := Table2Row{Model: "SGX", Setting: setting}
 		for _, pat := range []BitPattern{AllZeros, AllOnes, RandomBits} {
-			seed++
-			c := RunCovert(CovertConfig{
+			c, err := RunCovert(ctx, CovertConfig{
 				Model: m, Setting: setting, Pattern: pat, SGX: true,
-				Bits: cfg.Bits, Runs: cfg.Runs, Seed: seed,
+				Bits: cfg.Bits, Runs: cfg.Runs,
+				Seed: engine.DeriveSeed(cfg.Seed, "table3", setting.String(), pat.String()),
 			})
+			if err != nil {
+				return Table2Row{}, fmt.Errorf("table3 %s %s: %w", setting, pat, err)
+			}
 			row.Rates[pat] = c.ErrorRate
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return Table3Result{}, err
 	}
-	return res
+	res.Cells = rows
+	return res, nil
 }
 
 // String renders the SGX grid in the paper's layout.
@@ -65,7 +77,7 @@ func (r Table3Result) String() string {
 	fmt.Fprintf(&b, "Table 3: SGX covert channel error rate (trojan in enclave, OS-assisted spy)\n")
 	fmt.Fprintf(&b, "(%d bits/run, %d runs per cell, Skylake)\n", r.Config.Bits, r.Config.Runs)
 	fmt.Fprintf(&b, "%-26s %8s %8s %8s\n", "", "All 0", "All 1", "Random")
-	for _, row := range r.Rows {
+	for _, row := range r.Cells {
 		fmt.Fprintf(&b, "%-26s %8s %8s %8s\n",
 			fmt.Sprintf("%s %s", row.Model, row.Setting),
 			stats.Percent(row.Rates[AllZeros]),
@@ -73,4 +85,13 @@ func (r Table3Result) String() string {
 			stats.Percent(row.Rates[RandomBits]))
 	}
 	return b.String()
+}
+
+// Rows implements engine.Result.
+func (r Table3Result) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(r.Cells))
+	for _, row := range r.Cells {
+		rows = append(rows, row.rowJSON())
+	}
+	return rows
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"branchscope/internal/bpu"
 	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/uarch"
 )
 
@@ -64,188 +66,274 @@ func (s Scorecard) String() string {
 	return b.String()
 }
 
-// Validate runs the quick experiment suite and scores the paper's claims.
-func Validate(seed uint64) Scorecard {
-	var sc Scorecard
-	add := func(artifact, claim string, pass bool, detail string, args ...any) {
-		sc.Checks = append(sc.Checks, Check{
-			Artifact: artifact, Claim: claim, Pass: pass,
-			Detail: fmt.Sprintf(detail, args...),
+// Rows implements engine.Result: one row per checked claim.
+func (s Scorecard) Rows() []engine.Row {
+	rows := make([]engine.Row, 0, len(s.Checks))
+	for _, c := range s.Checks {
+		rows = append(rows, engine.Row{
+			engine.F("artifact", c.Artifact),
+			engine.F("claim", c.Claim),
+			engine.F("pass", c.Pass),
+			engine.F("detail", c.Detail),
 		})
 	}
+	return rows
+}
 
-	{ // Figure 2.
-		cfg := QuickFig2Config()
-		cfg.Seed = seed
-		r := RunFig2(cfg)
-		firstOK, horizonOK := true, true
-		var horizons []int
-		for _, s := range r.Series {
-			if s.MeanMisses[0] < 3.5 {
-				firstOK = false
-			}
-			h := s.LearningHorizon()
-			horizons = append(horizons, h)
-			if h < 4 || h > 8 {
-				horizonOK = false
-			}
+// check builds one scorecard entry.
+func check(artifact, claim string, pass bool, detail string, args ...any) Check {
+	return Check{Artifact: artifact, Claim: claim, Pass: pass, Detail: fmt.Sprintf(detail, args...)}
+}
+
+// Validate runs the quick experiment suite and scores the paper's
+// claims. Independent check blocks run on the context's worker pool;
+// scorecard order is fixed regardless of scheduling.
+func Validate(ctx context.Context, seed uint64) (Scorecard, error) {
+	blocks := []func(context.Context, uint64) ([]Check, error){
+		validateFig2,
+		validateTable1,
+		validateFig4,
+		validateFig5,
+		validateTable2,
+		validateTiming,
+		validateTable3,
+		validateMitigations,
+		validateApplications,
+	}
+	groups, err := engine.Map(ctx, len(blocks), func(i int) ([]Check, error) {
+		return blocks[i](ctx, seed)
+	})
+	if err != nil {
+		return Scorecard{}, err
+	}
+	var sc Scorecard
+	for _, g := range groups {
+		sc.Checks = append(sc.Checks, g...)
+	}
+	return sc, nil
+}
+
+func validateFig2(ctx context.Context, seed uint64) ([]Check, error) {
+	cfg := QuickFig2Config()
+	cfg.Seed = seed
+	r, err := RunFig2(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	firstOK, horizonOK := true, true
+	var horizons []int
+	for _, s := range r.Series {
+		if s.MeanMisses[0] < 3.5 {
+			firstOK = false
 		}
-		add("Fig 2", "first iteration of an irregular pattern mispredicts ~50%",
+		h := s.LearningHorizon()
+		horizons = append(horizons, h)
+		if h < 4 || h > 8 {
+			horizonOK = false
+		}
+	}
+	return []Check{
+		check("Fig 2", "first iteration of an irregular pattern mispredicts ~50%",
 			firstOK, "first-iteration misses: %.2f / %.2f",
-			r.Series[0].MeanMisses[0], r.Series[1].MeanMisses[0])
-		add("Fig 2", "the 2-level predictor takes over after ~5-7 pattern repeats",
-			horizonOK, "learning horizons: %v", horizons)
-	}
+			r.Series[0].MeanMisses[0], r.Series[1].MeanMisses[0]),
+		check("Fig 2", "the 2-level predictor takes over after ~5-7 pattern repeats",
+			horizonOK, "learning horizons: %v", horizons),
+	}, nil
+}
 
-	{ // Table 1.
-		pass := true
-		for _, m := range uarch.All() {
-			if !RunTable1(m, seed).MatchesPaper() {
-				pass = false
-			}
+func validateTable1(ctx context.Context, seed uint64) ([]Check, error) {
+	pass := true
+	for _, m := range uarch.All() {
+		r, err := RunTable1(ctx, m, seed)
+		if err != nil {
+			return nil, err
 		}
-		add("Table 1", "all eight prime/target/probe rows match on every CPU (incl. Skylake footnote)",
-			pass, "models: Skylake, Haswell, SandyBridge")
+		if !r.MatchesPaper() {
+			pass = false
+		}
 	}
+	return []Check{check("Table 1",
+		"all eight prime/target/probe rows match on every CPU (incl. Skylake footnote)",
+		pass, "models: Skylake, Haswell, SandyBridge")}, nil
+}
 
-	{ // Figure 4. The strong-vs-weak comparison needs a larger sample
-		// than the quick config to be meaningful.
-		cfg := QuickFig4Config()
-		cfg.Blocks = 120
-		cfg.Seed = seed
-		r := RunFig4(cfg)
-		add("Fig 4", "most (~83%) randomization blocks yield stable decodable PHT states",
+func validateFig4(ctx context.Context, seed uint64) ([]Check, error) {
+	// The strong-vs-weak comparison needs a larger sample than the
+	// quick config to be meaningful.
+	cfg := QuickFig4Config()
+	cfg.Blocks = 120
+	cfg.Seed = seed
+	r, err := RunFig4(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	strong := r.Distribution[core.StateST] + r.Distribution[core.StateSN]
+	weak := r.Distribution[core.StateWT] + r.Distribution[core.StateWN]
+	return []Check{
+		check("Fig 4", "most (~83%) randomization blocks yield stable decodable PHT states",
 			r.StableShare >= 0.55 && r.StableShare <= 0.99,
-			"stable share: %.1f%%", 100*r.StableShare)
-		strong := r.Distribution[core.StateST] + r.Distribution[core.StateSN]
-		weak := r.Distribution[core.StateWT] + r.Distribution[core.StateWN]
-		add("Fig 4", "strong states dominate weak states in the decoded distribution",
-			strong > weak, "strong %.1f%% vs weak %.1f%%", 100*strong, 100*weak)
-	}
+			"stable share: %.1f%%", 100*r.StableShare),
+		check("Fig 4", "strong states dominate weak states in the decoded distribution",
+			strong > weak, "strong %.1f%% vs weak %.1f%%", 100*strong, 100*weak),
+	}, nil
+}
 
-	{ // Figure 5.
-		cfg := QuickFig5Config()
-		cfg.Seed = seed
-		r := RunFig5(cfg)
-		add("Fig 5", "the H(w)/w minimum recovers the true PHT size",
-			r.DiscoveredSize == r.TrueSize,
-			"discovered %d, true %d", r.DiscoveredSize, r.TrueSize)
+func validateFig5(ctx context.Context, seed uint64) ([]Check, error) {
+	cfg := QuickFig5Config()
+	cfg.Seed = seed
+	r, err := RunFig5(ctx, cfg)
+	if err != nil {
+		return nil, err
 	}
+	return []Check{check("Fig 5", "the H(w)/w minimum recovers the true PHT size",
+		r.DiscoveredSize == r.TrueSize,
+		"discovered %d, true %d", r.DiscoveredSize, r.TrueSize)}, nil
+}
 
-	{ // Table 2.
-		cfg := QuickTable2Config()
-		cfg.Seed = seed
-		r := RunTable2(cfg)
-		byKey := map[string]Table2Row{}
-		for _, row := range r.Cells {
-			byKey[row.Model+"/"+row.Setting.String()] = row
+func validateTable2(ctx context.Context, seed uint64) ([]Check, error) {
+	cfg := QuickTable2Config()
+	cfg.Seed = seed
+	r, err := RunTable2(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	byKey := map[string]Table2Row{}
+	for _, row := range r.Cells {
+		byKey[row.Model+"/"+row.Setting.String()] = row
+	}
+	mean := func(r Table2Row) float64 { return (r.Rates[0] + r.Rates[1] + r.Rates[2]) / 3 }
+	slOK := mean(byKey["Skylake/isolated"]) < 0.01 && mean(byKey["Skylake/with noise"]) < 0.02
+	hwOK := mean(byKey["Haswell/isolated"]) < 0.01 && mean(byKey["Haswell/with noise"]) < 0.02
+	sbWorse := mean(byKey["SandyBridge/with noise"]) > mean(byKey["Skylake/with noise"]) &&
+		mean(byKey["SandyBridge/with noise"]) > mean(byKey["Haswell/with noise"])
+	noiseOK := true
+	for _, m := range []string{"Skylake", "Haswell", "SandyBridge"} {
+		if mean(byKey[m+"/with noise"]) < mean(byKey[m+"/isolated"]) {
+			noiseOK = false
 		}
-		mean := func(r Table2Row) float64 { return (r.Rates[0] + r.Rates[1] + r.Rates[2]) / 3 }
-		slOK := mean(byKey["Skylake/isolated"]) < 0.01 && mean(byKey["Skylake/with noise"]) < 0.02
-		hwOK := mean(byKey["Haswell/isolated"]) < 0.01 && mean(byKey["Haswell/with noise"]) < 0.02
-		add("Table 2", "error rate below 1-2% on Skylake and Haswell in both settings",
+	}
+	return []Check{
+		check("Table 2", "error rate below 1-2% on Skylake and Haswell in both settings",
 			slOK && hwOK, "SL %.2f/%.2f%%, HSW %.2f/%.2f%%",
 			100*mean(byKey["Skylake/isolated"]), 100*mean(byKey["Skylake/with noise"]),
-			100*mean(byKey["Haswell/isolated"]), 100*mean(byKey["Haswell/with noise"]))
-		sbWorse := mean(byKey["SandyBridge/with noise"]) > mean(byKey["Skylake/with noise"]) &&
-			mean(byKey["SandyBridge/with noise"]) > mean(byKey["Haswell/with noise"])
-		add("Table 2", "Sandy Bridge (smaller tables) shows the highest error rates",
-			sbWorse, "SB noisy %.2f%%", 100*mean(byKey["SandyBridge/with noise"]))
-		noiseOK := true
-		for _, m := range []string{"Skylake", "Haswell", "SandyBridge"} {
-			if mean(byKey[m+"/with noise"]) < mean(byKey[m+"/isolated"]) {
-				noiseOK = false
-			}
-		}
-		add("Table 2", "noise increases the error rate on every CPU", noiseOK, "")
+			100*mean(byKey["Haswell/isolated"]), 100*mean(byKey["Haswell/with noise"])),
+		check("Table 2", "Sandy Bridge (smaller tables) shows the highest error rates",
+			sbWorse, "SB noisy %.2f%%", 100*mean(byKey["SandyBridge/with noise"])),
+		check("Table 2", "noise increases the error rate on every CPU", noiseOK, ""),
+	}, nil
+}
+
+func validateTiming(ctx context.Context, seed uint64) ([]Check, error) {
+	cfg7 := QuickFig7Config()
+	cfg7.Seed = seed
+	r7, err := RunFig7(ctx, cfg7)
+	if err != nil {
+		return nil, err
 	}
+	d := r7.Case(false, true).Summary.Mean - r7.Case(false, false).Summary.Mean
 
-	{ // Figures 7-9.
-		cfg7 := QuickFig7Config()
-		cfg7.Seed = seed
-		r7 := RunFig7(cfg7)
-		d := r7.Case(false, true).Summary.Mean - r7.Case(false, false).Summary.Mean
-		add("Fig 7", "a misprediction has a clearly visible latency penalty",
-			d > 30, "separation %.1f cycles", d)
+	cfg8 := QuickFig8Config()
+	cfg8.Seed = seed
+	r8, err := RunFig8(ctx, cfg8)
+	if err != nil {
+		return nil, err
+	}
+	first, last := r8.Points[0], r8.Points[len(r8.Points)-1]
 
-		cfg8 := QuickFig8Config()
-		cfg8.Seed = seed
-		r8 := RunFig8(cfg8)
-		first, last := r8.Points[0], r8.Points[len(r8.Points)-1]
-		add("Fig 8", "first executions are unreliable (20-30%), second ~10%, averaging drives error toward 0",
+	cfg9 := QuickFig9Config()
+	cfg9.Seed = seed
+	r9, err := RunFig9(ctx, cfg9)
+	if err != nil {
+		return nil, err
+	}
+	sep := true
+	for _, c := range r9.Cells {
+		if c.Expected == core.PatternMM && c.Second.Mean < 160 {
+			sep = false
+		}
+		if c.Expected == core.PatternHH && c.Second.Mean > 155 {
+			sep = false
+		}
+	}
+	return []Check{
+		check("Fig 7", "a misprediction has a clearly visible latency penalty",
+			d > 30, "separation %.1f cycles", d),
+		check("Fig 8", "first executions are unreliable (20-30%), second ~10%, averaging drives error toward 0",
 			first.ErrorFirst > first.ErrorSecond && last.ErrorSecond < 0.03,
 			"m=1: %.1f%%/%.1f%%; m=%d: %.1f%%/%.1f%%",
 			100*first.ErrorFirst, 100*first.ErrorSecond,
-			last.Measurements, 100*last.ErrorFirst, 100*last.ErrorSecond)
+			last.Measurements, 100*last.ErrorFirst, 100*last.ErrorSecond),
+		check("Fig 9", "PHT states are distinguishable by probe timing alone", sep, ""),
+	}, nil
+}
 
-		cfg9 := QuickFig9Config()
-		cfg9.Seed = seed
-		r9 := RunFig9(cfg9)
-		sep := true
-		for _, c := range r9.Cells {
-			if c.Expected == core.PatternMM && c.Second.Mean < 160 {
-				sep = false
-			}
-			if c.Expected == core.PatternHH && c.Second.Mean > 155 {
-				sep = false
-			}
+func validateTable3(ctx context.Context, seed uint64) ([]Check, error) {
+	r, err := RunTable3(ctx, Table3Config{Bits: 1500, Runs: 2, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var iso Table2Row
+	for _, row := range r.Cells {
+		if row.Setting == Isolated {
+			iso = row
 		}
-		add("Fig 9", "PHT states are distinguishable by probe timing alone", sep, "")
+	}
+	m := (iso.Rates[0] + iso.Rates[1] + iso.Rates[2]) / 3
+	return []Check{check("Table 3", "the SGX attack (OS-assisted) is at least as reliable as user space",
+		m < 0.005, "SGX isolated mean error %.3f%%", 100*m)}, nil
+}
+
+func validateMitigations(ctx context.Context, seed uint64) ([]Check, error) {
+	cfg := QuickMitigationsConfig()
+	cfg.Seed = seed
+	r, err := RunMitigations(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rates := map[bpu.Mitigation]float64{}
+	for _, row := range r.Cells {
+		rates[row.Mitigation] = row.ErrorRate
+	}
+	return []Check{check("§10.2", "randomized indexing, partitioning and no-predict close the channel",
+		rates[bpu.MitigationRandomizedIndex] > 0.35 &&
+			rates[bpu.MitigationPartitioned] > 0.35 &&
+			rates[bpu.MitigationNoPredictSensitive] > 0.35,
+		"errors: %.0f%%/%.0f%%/%.0f%%",
+		100*rates[bpu.MitigationRandomizedIndex],
+		100*rates[bpu.MitigationPartitioned],
+		100*rates[bpu.MitigationNoPredictSensitive])}, nil
+}
+
+func validateApplications(ctx context.Context, seed uint64) ([]Check, error) {
+	mcfg := QuickMontgomeryConfig()
+	mcfg.Seed = seed
+	mr, err := RunMontgomery(ctx, mcfg)
+	if err != nil {
+		return nil, err
 	}
 
-	{ // Table 3.
-		r := RunTable3(Table3Config{Bits: 1500, Runs: 2, Seed: seed})
-		var iso Table2Row
-		for _, row := range r.Rows {
-			if row.Setting == Isolated {
-				iso = row
-			}
-		}
-		m := (iso.Rates[0] + iso.Rates[1] + iso.Rates[2]) / 3
-		add("Table 3", "the SGX attack (OS-assisted) is at least as reliable as user space",
-			m < 0.005, "SGX isolated mean error %.3f%%", 100*m)
+	acfg := QuickASLRConfig()
+	acfg.Seed = seed
+	ar, err := RunASLR(ctx, acfg)
+	if err != nil {
+		return nil, err
 	}
 
-	{ // Mitigations.
-		cfg := QuickMitigationsConfig()
-		cfg.Seed = seed
-		r := RunMitigations(cfg)
-		rates := map[bpu.Mitigation]float64{}
-		for _, row := range r.Rows {
-			rates[row.Mitigation] = row.ErrorRate
-		}
-		add("§10.2", "randomized indexing, partitioning and no-predict close the channel",
-			rates[bpu.MitigationRandomizedIndex] > 0.35 &&
-				rates[bpu.MitigationPartitioned] > 0.35 &&
-				rates[bpu.MitigationNoPredictSensitive] > 0.35,
-			"errors: %.0f%%/%.0f%%/%.0f%%",
-			100*rates[bpu.MitigationRandomizedIndex],
-			100*rates[bpu.MitigationPartitioned],
-			100*rates[bpu.MitigationNoPredictSensitive])
+	bcfg := QuickBTBBaselineConfig()
+	bcfg.Seed = seed
+	br, err := RunBTBBaseline(ctx, bcfg)
+	if err != nil {
+		return nil, err
 	}
-
-	{ // Applications and baseline.
-		mcfg := QuickMontgomeryConfig()
-		mcfg.Seed = seed
-		mr := RunMontgomery(mcfg)
-		add("§9.2", "Montgomery-ladder key bits recovered with near-zero error",
-			mr.Result.ErrorRate() < 0.02, "%s", mr.Result)
-
-		acfg := QuickASLRConfig()
-		acfg.Seed = seed
-		ar := RunASLR(acfg)
-		add("§9.2", "ASLR slide recovered by collision scanning",
-			ar.Pinpointed, "survivors: %d", len(ar.Multi.Collisions))
-
-		bcfg := QuickBTBBaselineConfig()
-		bcfg.Seed = seed
-		br := RunBTBBaseline(bcfg)
-		add("§11", "BranchScope beats the BTB channel and ignores BTB defenses",
+	return []Check{
+		check("§9.2", "Montgomery-ladder key bits recovered with near-zero error",
+			mr.Result.ErrorRate() < 0.02, "%s", mr.Result),
+		check("§9.2", "ASLR slide recovered by collision scanning",
+			ar.Pinpointed, "survivors: %d", len(ar.Multi.Collisions)),
+		check("§11", "BranchScope beats the BTB channel and ignores BTB defenses",
 			br.BranchScope < br.BTBError && br.BTBUnderFlush > 0.35 && br.BranchScopeUnderBTB < 0.05,
 			"BS %.2f%% vs BTB %.2f%% (flushed: %.2f%%/%.2f%%)",
 			100*br.BranchScope, 100*br.BTBError,
-			100*br.BranchScopeUnderBTB, 100*br.BTBUnderFlush)
-	}
-
-	return sc
+			100*br.BranchScopeUnderBTB, 100*br.BTBUnderFlush),
+	}, nil
 }

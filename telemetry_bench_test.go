@@ -8,6 +8,7 @@
 package branchscope_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
@@ -36,7 +37,11 @@ func runCovertBench(b *testing.B, set *telemetry.Set) {
 	cfg := benchCovertConfig(set)
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
-		if r := experiments.RunCovert(cfg); r.SetupFailed != 0 {
+		r, err := experiments.RunCovert(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SetupFailed != 0 {
 			b.Fatal("block search failed")
 		}
 	}
