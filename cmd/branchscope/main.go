@@ -7,31 +7,39 @@
 //
 //	branchscope [-model Skylake] [-bits 10000] [-pattern random]
 //	            [-noisy] [-sgx] [-timing] [-seed 1] [-v]
+//	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
+//	            [-log-format text|json] [-log-level info]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// Observability: -metrics-out writes the telemetry registry (episode
-// counts, pattern distribution, per-stage cycle histograms, scheduler
-// and CPU counters) as JSON; -trace-out writes a Chrome trace-event
-// JSON of the run — per-thread timelines with one span per attack
-// episode — loadable at ui.perfetto.dev. Both exports record simulated
-// cycles only and are byte-identical across runs with the same seed.
-// -v additionally prints a metrics summary table.
+// Observability (shared surface, see internal/cliutil): -metrics-out
+// writes the telemetry registry (episode counts, pattern distribution,
+// per-stage cycle histograms, scheduler and CPU counters) as JSON;
+// -trace-out writes a Chrome trace-event JSON of the run — per-thread
+// timelines with one span per attack episode — loadable at
+// ui.perfetto.dev. Both record simulated cycles only and are
+// byte-identical across runs with the same seed, and both are flushed
+// even when the run is interrupted by SIGINT. -serve exposes /metrics,
+// /statusz, /healthz, /readyz and /debug/pprof live during the run;
+// -ledger-out appends one branchscope.ledger/v1 provenance record for
+// the run (config, seed, outcome, error-rate digest, metrics delta).
+// -v additionally prints a metrics summary table with p50/p95/p99
+// cycle quantiles.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
-	"runtime"
-	"runtime/pprof"
 	"syscall"
+	"time"
 
+	"branchscope/internal/cliutil"
 	"branchscope/internal/cpu"
 	"branchscope/internal/experiments"
+	"branchscope/internal/obs"
 	"branchscope/internal/telemetry"
 	"branchscope/internal/trace"
 	"branchscope/internal/uarch"
@@ -47,23 +55,21 @@ func usageErr(format string, args ...any) int {
 	return 2
 }
 
-func run() int {
+func run() (code int) {
 	var (
-		model      = flag.String("model", "Skylake", "CPU model: Skylake, Haswell or SandyBridge")
-		bits       = flag.Int("bits", 10000, "number of secret bits to transmit per run")
-		runs       = flag.Int("runs", 1, "independent runs to average")
-		pattern    = flag.String("pattern", "random", "bit pattern: zeros, ones or random")
-		noisy      = flag.Bool("noisy", false, "unrestricted setting (background noise shares the core)")
-		sgxMode    = flag.Bool("sgx", false, "run the sender inside an SGX enclave with an OS-assisted spy")
-		timing     = flag.Bool("timing", false, "probe with rdtscp timing instead of the misprediction PMC")
-		seed       = flag.Uint64("seed", 1, "random seed (runs are fully deterministic per seed)")
-		verbose    = flag.Bool("v", false, "print per-run error rates and a metrics summary table")
-		traced     = flag.Bool("trace", false, "record and summarize the spy's execution trace")
-		metricsOut = flag.String("metrics-out", "", "write telemetry metrics as JSON to this file")
-		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		model   = flag.String("model", "Skylake", "CPU model: Skylake, Haswell or SandyBridge")
+		bits    = flag.Int("bits", 10000, "number of secret bits to transmit per run")
+		runs    = flag.Int("runs", 1, "independent runs to average")
+		pattern = flag.String("pattern", "random", "bit pattern: zeros, ones or random")
+		noisy   = flag.Bool("noisy", false, "unrestricted setting (background noise shares the core)")
+		sgxMode = flag.Bool("sgx", false, "run the sender inside an SGX enclave with an OS-assisted spy")
+		timing  = flag.Bool("timing", false, "probe with rdtscp timing instead of the misprediction PMC")
+		seed    = flag.Uint64("seed", 1, "random seed (runs are fully deterministic per seed)")
+		verbose = flag.Bool("v", false, "print per-run error rates and a metrics summary table")
+		traced  = flag.Bool("trace", false, "record and summarize the spy's execution trace")
 	)
+	var obsFlags cliutil.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	// Validate the flag set up front; nonsensical combinations are
@@ -105,28 +111,33 @@ func run() int {
 		setting = experiments.Noisy
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "starting CPU profile:", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+	// The single root task this CLI runs, as /statusz reports it.
+	tracker := obs.NewTracker("branchscope", *seed, false, []string{"covert"})
+	sess, err := cliutil.NewSession("branchscope", obsFlags, cliutil.Options{
+		// The registry is always on (the CLI is not a hot path; the -v
+		// table reads it); the tracer only when its output is
+		// requested, since it retains every event.
+		ForceMetrics: true,
+		Status:       tracker.Status,
+		Ready:        tracker.Ready,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		return 2
 	}
-
-	// The registry is always on (the CLI is not a hot path); the tracer
-	// only when its output is requested, since it retains every event.
-	reg := telemetry.NewRegistry()
-	var tracer *telemetry.Tracer
-	if *traceOut != "" {
-		tracer = telemetry.NewTracer()
-	}
-	set := telemetry.New(reg, tracer)
+	// Close flushes metrics/trace/ledger and shuts the server down on
+	// every exit path, including SIGINT-canceled runs.
+	defer func() {
+		if err := sess.Close(); err != nil {
+			sess.Log.Error("flushing observability exports", "err", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+	reg := sess.Metrics
+	set := telemetry.New(reg, sess.Trace)
 
 	cfg := experiments.CovertConfig{
 		Model:     m,
@@ -157,11 +168,50 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	ledgerConfig := map[string]any{
+		"model":   m.Name,
+		"bits":    *bits,
+		"runs":    *runs,
+		"pattern": *pattern,
+		"setting": setting.String(),
+		"sgx":     *sgxMode,
+		"timing":  *timing,
+	}
+	tracker.Begin("covert", *seed)
+	sess.Deltas.Begin("covert")
+	sess.Log.Info("task start", "id", "covert", "seed", *seed, "model", m.Name, "bits", *bits, "runs", *runs)
+	start := time.Now()
 	res, err := experiments.RunCovert(ctx, cfg)
+	wall := time.Since(start)
+	tracker.End("covert", wall, err)
+	rec := obs.LedgerRecord{
+		Program:  "branchscope",
+		ID:       "covert",
+		Artifact: "covert channel",
+		Config:   ledgerConfig,
+		BaseSeed: *seed,
+		Seed:     *seed,
+		Outcome:  obs.OutcomeOf(err),
+		// WallSeconds is the one nondeterministic ledger field.
+		WallSeconds:  wall.Seconds(),
+		MetricsDelta: sess.Deltas.End("covert"),
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		rec.Error = err.Error()
+		if lerr := sess.Ledger.Append(rec); lerr != nil {
+			sess.Log.Error("appending ledger record", "err", lerr)
+		}
+		sess.Log.Error("task failed", "id", "covert", "outcome", rec.Outcome, "err", err)
 		return 1
 	}
+	rec.ResultDigest = obs.Digest(res.String())
+	if lerr := sess.Ledger.Append(rec); lerr != nil {
+		sess.Log.Error("appending ledger record", "err", lerr)
+	}
+	sess.Log.Info("task done", "id", "covert", "outcome", "ok",
+		"wall", wall.String(), "error_rate", res.ErrorRate)
+
 	if *verbose {
 		for i, r := range res.PerRun {
 			fmt.Printf("  run %d: %.3f%%\n", i+1, 100*r)
@@ -185,46 +235,5 @@ func run() int {
 			return 1
 		}
 	}
-
-	if *metricsOut != "" {
-		if err := writeFileWith(*metricsOut, reg.Snapshot().WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "writing metrics:", err)
-			return 1
-		}
-		fmt.Println("metrics written to", *metricsOut)
-	}
-	if *traceOut != "" {
-		if err := writeFileWith(*traceOut, tracer.WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "writing trace:", err)
-			return 1
-		}
-		fmt.Println("trace written to", *traceOut, "(load at ui.perfetto.dev)")
-	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "writing heap profile:", err)
-			return 1
-		}
-	}
 	return 0
-}
-
-// writeFileWith streams writer-based output (WriteJSON) into path.
-func writeFileWith(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

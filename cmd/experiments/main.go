@@ -7,7 +7,9 @@
 //
 //	experiments [-quick] [-seed 1] [-parallel N] [-timeout 0]
 //	            [-list] [-check] [-md out.md] [-json out.json]
+//	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
+//	            [-log-format text|json] [-log-level info]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [id ...]
 //
 // Available ids (see -list): fig2 table1 fig4 fig5 fig6 table2 fig7 fig8
@@ -19,24 +21,25 @@
 // sub-runs — on a bounded worker pool. Every unit's randomness derives
 // from (seed, experiment ID, unit labels), never from scheduling order,
 // so stdout is byte-identical between -parallel 1 and -parallel 8 for
-// the same seed; elapsed times go to stderr only. -timeout bounds each
-// experiment's wall time, and a panicking or failing experiment is
-// reported in place while the rest of the suite completes (exit code 1).
-// SIGINT/SIGTERM cancel the run cooperatively. -json writes every
-// result as structured rows (schema branchscope.experiments/v1; see
-// engine.WriteJSON for the documented key order).
+// the same seed. -timeout bounds each experiment's wall time, and a
+// panicking or failing experiment is reported in place while the rest
+// of the suite completes (exit code 1). SIGINT/SIGTERM cancel the run
+// cooperatively — and every requested export is still flushed on that
+// path. -json writes every result as structured rows (schema
+// branchscope.experiments/v1; see engine.WriteJSON).
 //
-// Observability: -metrics-out installs a process-wide telemetry set
-// (see internal/telemetry) that the covert-channel harness reports
-// through, and writes the registry as JSON at exit, including a
-// wall-time gauge per executed experiment (and a simulated-cycle gauge
-// at -parallel 1, where the process-wide cycle counter is attributable
-// to one experiment at a time). -trace-out additionally captures
-// per-thread span timelines as Chrome trace-event JSON for Perfetto; it
-// requires -parallel 1 because concurrent experiments would interleave
-// their spans into one meaningless timeline. Wall-time gauges are the
-// one deliberately nondeterministic metric; everything else is
-// cycle-derived and reproducible per seed.
+// Observability (shared surface, see internal/cliutil): stdout carries
+// only the deterministic report; progress is structured slog on stderr
+// (-log-format/-log-level), one start and one finish/fail event per
+// task with its derived seed, duration, and error. -serve exposes live
+// endpoints while the suite runs — /metrics (Prometheus text v0.0.4),
+// /statusz (task progress JSON), /healthz, /readyz, /debug/pprof —
+// and never perturbs stdout. -ledger-out appends one
+// branchscope.ledger/v1 JSONL provenance record per task: config,
+// seeds, outcome, wall time, result digest, and the task's metrics
+// delta. -metrics-out/-trace-out write the registry and the Perfetto
+// trace at exit (trace requires -parallel 1, where one experiment owns
+// the span timeline at a time).
 package main
 
 import (
@@ -47,34 +50,33 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"branchscope/internal/cliutil"
 	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
+	"branchscope/internal/obs"
 	"branchscope/internal/telemetry"
 )
 
 func main() { os.Exit(run()) }
 
-func run() int {
+func run() (code int) {
 	var (
-		quick      = flag.Bool("quick", false, "run test-scale configurations")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max experiments (and experiment-internal units) running concurrently")
-		timeout    = flag.Duration("timeout", 0, "per-experiment wall-time limit (0 = unbounded)")
-		list       = flag.Bool("list", false, "list available experiments and exit")
-		check      = flag.Bool("check", false, "run the reproduction scorecard (paper-claim validation) and exit")
-		mdPath     = flag.String("md", "", "also write the results as a markdown report to this file")
-		jsonPath   = flag.String("json", "", "write results as structured JSON (branchscope.experiments/v1) to this file")
-		metricsOut = flag.String("metrics-out", "", "write telemetry metrics as JSON to this file")
-		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON to this file (requires -parallel 1)")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		quick    = flag.Bool("quick", false, "run test-scale configurations")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max experiments (and experiment-internal units) running concurrently")
+		timeout  = flag.Duration("timeout", 0, "per-experiment wall-time limit (0 = unbounded)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		check    = flag.Bool("check", false, "run the reproduction scorecard (paper-claim validation) and exit")
+		mdPath   = flag.String("md", "", "also write the results as a markdown report to this file")
+		jsonPath = flag.String("json", "", "write results as structured JSON (branchscope.experiments/v1) to this file")
 	)
+	var obsFlags cliutil.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *parallel < 1 {
@@ -82,7 +84,7 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
-	if *traceOut != "" && *parallel > 1 {
+	if obsFlags.TraceOut != "" && *parallel > 1 {
 		fmt.Fprintln(os.Stderr, "experiments: -trace-out requires -parallel 1 (concurrent experiments would interleave one span timeline)")
 		flag.Usage()
 		return 2
@@ -112,34 +114,6 @@ func run() int {
 		return 0
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "starting CPU profile:", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
-	}
-
-	// Install the process-wide telemetry set when any export is
-	// requested; experiment harnesses that boot simulated machines
-	// (the covert-channel cells) pick it up automatically.
-	var reg *telemetry.Registry
-	var tracer *telemetry.Tracer
-	if *metricsOut != "" || *traceOut != "" {
-		reg = telemetry.NewRegistry()
-		if *traceOut != "" {
-			tracer = telemetry.NewTracer()
-		}
-		experiments.SetDefaultTelemetry(telemetry.New(reg, tracer))
-		defer experiments.SetDefaultTelemetry(nil)
-	}
-
 	var selected []experiments.Experiment
 	if flag.NArg() == 0 {
 		selected = experiments.All()
@@ -154,8 +128,41 @@ func run() int {
 			selected = append(selected, e)
 		}
 	}
-
 	tasks := experiments.Tasks(selected)
+	ids := make([]string, len(tasks))
+	for i, t := range tasks {
+		ids[i] = t.ID
+	}
+
+	tracker := obs.NewTracker("experiments", *seed, *quick, ids)
+	sess, err := cliutil.NewSession("experiments", obsFlags, cliutil.Options{
+		Status: tracker.Status,
+		Ready:  tracker.Ready,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		return 2
+	}
+	// Close flushes metrics/trace/ledger and shuts the server down on
+	// every exit path, including SIGINT-canceled runs.
+	defer func() {
+		if err := sess.Close(); err != nil {
+			sess.Log.Error("flushing observability exports", "err", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+
+	// Experiment harnesses that boot simulated machines (the
+	// covert-channel cells) pick the process-wide set up automatically.
+	reg := sess.Metrics
+	if reg != nil || sess.Trace != nil {
+		experiments.SetDefaultTelemetry(telemetry.New(reg, sess.Trace))
+		defer experiments.SetDefaultTelemetry(nil)
+	}
+
 	// Per-experiment simulated-cycle attribution only works when one
 	// experiment owns the process-wide counter at a time.
 	if reg != nil && pool == nil {
@@ -172,20 +179,56 @@ func run() int {
 		}
 	}
 
+	ledgerConfig := map[string]any{
+		"quick":    *quick,
+		"parallel": *parallel,
+		"timeout":  timeout.String(),
+	}
 	var done atomic.Int64
 	runner := &engine.Runner{
 		Pool:    pool,
 		Timeout: *timeout,
+		OnStart: func(t engine.Task, seed uint64) {
+			tracker.Begin(t.ID, seed)
+			sess.Deltas.Begin(t.ID)
+			sess.Log.Info("task start", "id", t.ID, "artifact", t.Artifact, "seed", seed)
+		},
 		OnDone: func(rep engine.Report) {
 			n := done.Add(1)
-			status := "done"
-			if rep.Err != nil {
-				status = "FAILED"
+			tracker.End(rep.Task.ID, rep.Wall, rep.Err)
+			delta := sess.Deltas.End(rep.Task.ID)
+			attrs := []any{
+				"id", rep.Task.ID, "seed", rep.Seed, "outcome", rep.Outcome(),
+				"wall", rep.Wall.Round(time.Millisecond).String(),
+				"n", n, "total", len(tasks),
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s in %v\n",
-				n, len(tasks), rep.Task.ID, status, rep.Wall.Round(time.Millisecond))
+			if rep.Err != nil {
+				sess.Log.Error("task failed", append(attrs, "err", rep.Err)...)
+			} else {
+				sess.Log.Info("task done", attrs...)
+			}
 			if reg != nil {
 				reg.Gauge("experiments." + rep.Task.ID + ".wall_seconds").Set(rep.Wall.Seconds())
+			}
+			rec := obs.LedgerRecord{
+				Program:  "experiments",
+				ID:       rep.Task.ID,
+				Artifact: rep.Task.Artifact,
+				Config:   ledgerConfig,
+				BaseSeed: *seed,
+				Seed:     rep.Seed,
+				Outcome:  rep.Outcome(),
+				// WallSeconds is the one nondeterministic ledger field.
+				WallSeconds:  rep.Wall.Seconds(),
+				MetricsDelta: delta,
+			}
+			if rep.Err != nil {
+				rec.Error = rep.Err.Error()
+			} else {
+				rec.ResultDigest = obs.Digest(rep.Result.String())
+			}
+			if err := sess.Ledger.Append(rec); err != nil {
+				sess.Log.Error("appending ledger record", "id", rep.Task.ID, "err", err)
 			}
 		},
 	}
@@ -213,64 +256,24 @@ func run() int {
 				rep.Wall.Round(time.Millisecond))
 		}
 		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "writing markdown report:", err)
+			sess.Log.Error("writing markdown report", "path", *mdPath, "err", err)
 			return 1
 		}
-		fmt.Println("markdown report written to", *mdPath)
+		sess.Log.Info("markdown report written", "path", *mdPath)
 	}
 	if *jsonPath != "" {
-		err := writeFileWith(*jsonPath, func(w io.Writer) error {
+		err := cliutil.WriteFile(*jsonPath, func(w io.Writer) error {
 			return engine.WriteJSON(w, engine.ExportMeta{BaseSeed: *seed, Quick: *quick}, reports)
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "writing JSON export:", err)
+			sess.Log.Error("writing JSON export", "path", *jsonPath, "err", err)
 			return 1
 		}
-		fmt.Println("JSON export written to", *jsonPath)
-	}
-	if *metricsOut != "" {
-		if err := writeFileWith(*metricsOut, reg.Snapshot().WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "writing metrics:", err)
-			return 1
-		}
-		fmt.Println("metrics written to", *metricsOut)
-	}
-	if *traceOut != "" {
-		if err := writeFileWith(*traceOut, tracer.WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "writing trace:", err)
-			return 1
-		}
-		fmt.Println("trace written to", *traceOut, "(load at ui.perfetto.dev)")
-	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "writing heap profile:", err)
-			return 1
-		}
+		sess.Log.Info("JSON export written", "path", *jsonPath, "schema", "branchscope.experiments/v1")
 	}
 	if n := engine.Failed(reports); n > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", n, len(reports))
+		sess.Log.Error("suite finished with failures", "failed", n, "total", len(reports))
 		return 1
 	}
 	return 0
-}
-
-// writeFileWith streams writer-based output (WriteJSON) into path.
-func writeFileWith(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

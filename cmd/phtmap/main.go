@@ -5,7 +5,20 @@
 //
 // Usage:
 //
-//	phtmap [-model Skylake] [-start 0x300000] [-addresses 65536] [-seed 1]
+//	phtmap [-model Skylake] [-start 0x300000] [-addresses 65536]
+//	       [-block 4000] [-pairs 100] [-seed 1]
+//	       [-serve addr] [-ledger-out l.jsonl]
+//	       [-metrics-out m.json] [-trace-out t.json]
+//	       [-log-format text|json] [-log-level info]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Observability (shared surface, see internal/cliutil): the flags above
+// match cmd/branchscope and cmd/experiments exactly. -metrics-out and
+// -trace-out export the mapping run's telemetry (simulated cycles only,
+// deterministic per seed, flushed even on SIGINT); -serve exposes
+// /metrics, /statusz, /healthz, /readyz and /debug/pprof live during
+// the run; -ledger-out appends one branchscope.ledger/v1 provenance
+// record with the run's config, seed, outcome and result digest.
 package main
 
 import (
@@ -13,13 +26,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
+	"branchscope/internal/cliutil"
 	"branchscope/internal/experiments"
+	"branchscope/internal/obs"
+	"branchscope/internal/telemetry"
 	"branchscope/internal/uarch"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() (code int) {
 	var (
 		model = flag.String("model", "Skylake", "CPU model: Skylake, Haswell or SandyBridge")
 		start = flag.String("start", "0x300000", "first probed virtual address (64 KiB aligned)")
@@ -28,19 +49,55 @@ func main() {
 		pairs = flag.Int("pairs", 100, "random subvector pairs per window size")
 		seed  = flag.Uint64("seed", 1, "random seed")
 	)
+	var obsFlags cliutil.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	m, err := uarch.ByName(*model)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	startAddr, err := strconv.ParseUint(*start, 0, 64)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -start: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	res, err := experiments.RunFig5(context.Background(), experiments.Fig5Config{
+
+	// The single mapping task this CLI runs, as /statusz reports it.
+	tracker := obs.NewTracker("phtmap", *seed, false, []string{"fig5"})
+	sess, err := cliutil.NewSession("phtmap", obsFlags, cliutil.Options{
+		Status: tracker.Status,
+		Ready:  tracker.Ready,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		return 2
+	}
+	// Close flushes metrics/trace/ledger and shuts the server down on
+	// every exit path, including SIGINT-canceled runs.
+	defer func() {
+		if err := sess.Close(); err != nil {
+			sess.Log.Error("flushing observability exports", "err", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+	if sess.Metrics != nil || sess.Trace != nil {
+		experiments.SetDefaultTelemetry(telemetry.New(sess.Metrics, sess.Trace))
+		defer experiments.SetDefaultTelemetry(nil)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	tracker.Begin("fig5", *seed)
+	sess.Deltas.Begin("fig5")
+	sess.Log.Info("task start", "id", "fig5", "seed", *seed, "model", m.Name, "start", *start)
+	begin := time.Now()
+	res, err := experiments.RunFig5(ctx, experiments.Fig5Config{
 		Model:         m,
 		Start:         startAddr,
 		Addresses:     *count,
@@ -48,9 +105,39 @@ func main() {
 		Pairs:         *pairs,
 		Seed:          *seed,
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	wall := time.Since(begin)
+	tracker.End("fig5", wall, err)
+	rec := obs.LedgerRecord{
+		Program:  "phtmap",
+		ID:       "fig5",
+		Artifact: "Figure 5",
+		Config: map[string]any{
+			"model":     m.Name,
+			"start":     *start,
+			"addresses": *count,
+			"block":     *block,
+			"pairs":     *pairs,
+		},
+		BaseSeed: *seed,
+		Seed:     *seed,
+		Outcome:  obs.OutcomeOf(err),
+		// WallSeconds is the one nondeterministic ledger field.
+		WallSeconds:  wall.Seconds(),
+		MetricsDelta: sess.Deltas.End("fig5"),
 	}
+	if err != nil {
+		rec.Error = err.Error()
+		if lerr := sess.Ledger.Append(rec); lerr != nil {
+			sess.Log.Error("appending ledger record", "err", lerr)
+		}
+		sess.Log.Error("task failed", "id", "fig5", "outcome", rec.Outcome, "err", err)
+		return 1
+	}
+	rec.ResultDigest = obs.Digest(res.String())
+	if lerr := sess.Ledger.Append(rec); lerr != nil {
+		sess.Log.Error("appending ledger record", "err", lerr)
+	}
+	sess.Log.Info("task done", "id", "fig5", "outcome", "ok", "wall", wall.String())
 	fmt.Print(res)
+	return 0
 }

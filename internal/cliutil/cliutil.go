@@ -1,0 +1,235 @@
+// Package cliutil is the observability surface shared by the three
+// CLIs (branchscope, experiments, phtmap): one flag set with identical
+// names and usage wording, and a Session that owns every export sink —
+// metrics and trace files, the provenance ledger, the live obs server,
+// Go profiles — and flushes all of them in Close.
+//
+// Close is designed to run on *every* exit path via defer, including
+// a SIGINT/SIGTERM-canceled run: a run interrupted halfway still
+// leaves a valid metrics file, a parseable ledger, and a cleanly
+// shut-down HTTP server behind. Exports that were not requested cost
+// nothing (nil registry/tracer/ledger handles are no-ops).
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"branchscope/internal/obs"
+	"branchscope/internal/telemetry"
+)
+
+// Flags is the shared observability flag set. Register installs it
+// with the same names and usage strings in every CLI — flag parity is
+// a tested contract, not a convention.
+type Flags struct {
+	MetricsOut string
+	TraceOut   string
+	Serve      string
+	LedgerOut  string
+	LogFormat  string
+	LogLevel   string
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the shared flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write telemetry metrics as JSON to this file")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Perfetto-loadable Chrome trace JSON to this file")
+	fs.StringVar(&f.Serve, "serve", "", "serve live observability endpoints (/metrics, /statusz, /healthz, /readyz, /debug/pprof) on this address during the run (e.g. :8080 or 127.0.0.1:0)")
+	fs.StringVar(&f.LedgerOut, "ledger-out", "", "append one branchscope.ledger/v1 JSONL provenance record per completed task to this file")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "structured stderr log format: text or json")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// Options tunes session construction per CLI.
+type Options struct {
+	// ForceMetrics keeps the registry on even when no -metrics-out /
+	// -serve / -ledger-out asked for it (branchscope's -v table reads
+	// the registry unconditionally).
+	ForceMetrics bool
+	// Status and Ready feed /statusz and /readyz when -serve is set.
+	Status func() obs.Status
+	Ready  func() bool
+	// LogWriter overrides the log destination (default os.Stderr;
+	// tests pass a buffer). Stdout is never an option: it is reserved
+	// for the deterministic report.
+	LogWriter io.Writer
+}
+
+// Session is one CLI run's observability state.
+type Session struct {
+	// Log is the process logger (stderr), never nil.
+	Log *slog.Logger
+	// Metrics is nil unless requested (see Options.ForceMetrics).
+	Metrics *telemetry.Registry
+	// Trace is nil unless -trace-out was given.
+	Trace *telemetry.Tracer
+	// Ledger is nil unless -ledger-out was given; nil-safe to use.
+	Ledger *obs.Ledger
+	// Deltas attributes per-task metrics windows for ledger records;
+	// nil-safe to use.
+	Deltas *obs.DeltaRecorder
+
+	prog       string
+	flags      Flags
+	ledgerFile *os.File
+	cpuFile    *os.File
+	server     *obs.Handle
+	closed     bool
+}
+
+// NewSession validates the shared flags and opens every requested
+// sink: logger, registry, tracer, ledger file (append mode — ledgers
+// accumulate across runs), CPU profile, and the obs HTTP server. On
+// error, everything already opened is closed again.
+func NewSession(prog string, f Flags, o Options) (*Session, error) {
+	logw := o.LogWriter
+	if logw == nil {
+		logw = os.Stderr
+	}
+	log, err := obs.NewLogger(logw, f.LogFormat, f.LogLevel)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", prog, err)
+	}
+	s := &Session{Log: log, prog: prog, flags: f}
+
+	if o.ForceMetrics || f.MetricsOut != "" || f.Serve != "" || f.LedgerOut != "" {
+		s.Metrics = telemetry.NewRegistry()
+	}
+	if f.TraceOut != "" {
+		s.Trace = telemetry.NewTracer()
+	}
+	if f.LedgerOut != "" {
+		lf, err := os.OpenFile(f.LedgerOut, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("%s: opening ledger: %w", prog, err)
+		}
+		s.ledgerFile = lf
+		s.Ledger = obs.NewLedger(lf)
+		s.Deltas = obs.NewDeltaRecorder(s.Metrics)
+	}
+	if f.CPUProfile != "" {
+		cf, err := os.Create(f.CPUProfile)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("%s: %w", prog, err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			s.closeFiles()
+			return nil, fmt.Errorf("%s: starting CPU profile: %w", prog, err)
+		}
+		s.cpuFile = cf
+	}
+	if f.Serve != "" {
+		srv := &obs.Server{
+			Program: prog,
+			Metrics: s.Metrics,
+			Status:  o.Status,
+			Ready:   o.Ready,
+			Log:     log,
+		}
+		h, err := srv.Start(f.Serve)
+		if err != nil {
+			s.stopProfile()
+			s.closeFiles()
+			return nil, fmt.Errorf("%s: %w", prog, err)
+		}
+		s.server = h
+		log.Info("observability server listening",
+			"addr", h.Addr(), "endpoints", "/metrics /statusz /healthz /readyz /debug/pprof")
+	}
+	return s, nil
+}
+
+func (s *Session) stopProfile() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+}
+
+func (s *Session) closeFiles() {
+	if s.ledgerFile != nil {
+		s.ledgerFile.Close()
+		s.ledgerFile = nil
+	}
+}
+
+// Close flushes every sink. It must run on every exit path (defer it
+// right after NewSession) — in particular on the SIGINT/SIGTERM
+// cancellation path, where the partial run's metrics, trace, and
+// ledger are exactly what a debugging user needs. Idempotent; returns
+// the joined errors of all sinks.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var errs []error
+
+	if s.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := s.server.Shutdown(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("shutting down observability server: %w", err))
+		}
+		cancel()
+	}
+	if s.flags.MetricsOut != "" {
+		if err := WriteFile(s.flags.MetricsOut, s.Metrics.Snapshot().WriteJSON); err != nil {
+			errs = append(errs, fmt.Errorf("writing metrics: %w", err))
+		} else {
+			s.Log.Info("metrics written", "path", s.flags.MetricsOut)
+		}
+	}
+	if s.flags.TraceOut != "" {
+		if err := WriteFile(s.flags.TraceOut, s.Trace.WriteJSON); err != nil {
+			errs = append(errs, fmt.Errorf("writing trace: %w", err))
+		} else {
+			s.Log.Info("trace written", "path", s.flags.TraceOut, "viewer", "ui.perfetto.dev")
+		}
+	}
+	if s.ledgerFile != nil {
+		if err := s.ledgerFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("closing ledger: %w", err))
+		} else {
+			s.Log.Info("ledger appended", "path", s.flags.LedgerOut, "schema", obs.LedgerSchema)
+		}
+		s.ledgerFile = nil
+	}
+	s.stopProfile()
+	if s.flags.MemProfile != "" {
+		runtime.GC()
+		if err := WriteFile(s.flags.MemProfile, pprof.WriteHeapProfile); err != nil {
+			errs = append(errs, fmt.Errorf("writing heap profile: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WriteFile streams writer-based output (WriteJSON and friends) into
+// path, creating or truncating it.
+func WriteFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,224 @@
+package cliutil
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchscope/internal/engine"
+	"branchscope/internal/obs"
+	"branchscope/internal/telemetry"
+)
+
+// TestFlagRegistrationParity pins the shared flag surface: every CLI
+// registers through Flags.Register, so the set of names and usage
+// strings here IS the parity contract across cmd/branchscope,
+// cmd/experiments and cmd/phtmap.
+func TestFlagRegistrationParity(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	want := []string{
+		"metrics-out", "trace-out", "serve", "ledger-out",
+		"log-format", "log-level", "cpuprofile", "memprofile",
+	}
+	for _, name := range want {
+		if fs.Lookup(name) == nil {
+			t.Errorf("shared flag -%s not registered", name)
+		}
+	}
+	n := 0
+	fs.VisitAll(func(*flag.Flag) { n++ })
+	if n != len(want) {
+		t.Errorf("registered %d flags, want %d", n, len(want))
+	}
+}
+
+func TestNewSessionValidatesLogFlags(t *testing.T) {
+	if _, err := NewSession("t", Flags{LogFormat: "xml", LogLevel: "info"}, Options{}); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+	if _, err := NewSession("t", Flags{LogFormat: "text", LogLevel: "screaming"}, Options{}); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}
+
+func TestSessionEnablesSinksPerFlags(t *testing.T) {
+	var logBuf bytes.Buffer
+	dir := t.TempDir()
+	s, err := NewSession("t", Flags{
+		LogFormat: "json", LogLevel: "debug",
+		MetricsOut: filepath.Join(dir, "m.json"),
+		LedgerOut:  filepath.Join(dir, "l.jsonl"),
+	}, Options{LogWriter: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics == nil || s.Ledger == nil || s.Deltas == nil {
+		t.Fatalf("sinks not enabled: %+v", s)
+	}
+	if s.Trace != nil {
+		t.Error("tracer on without -trace-out")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// Disabled-by-default session: no registry at all.
+	s2, err := NewSession("t", Flags{LogFormat: "text", LogLevel: "info"}, Options{LogWriter: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Metrics != nil {
+		t.Error("registry on without any flag asking for it")
+	}
+	defer s2.Close()
+}
+
+// TestInterruptedSuiteStillFlushesExports is the regression test for
+// the SIGINT flush gap: a suite interrupted by cancellation mid-run
+// must still leave a valid metrics JSON file and a parseable ledger
+// behind, because Session.Close runs on the cancel path too.
+func TestInterruptedSuiteStillFlushesExports(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	ledgerPath := filepath.Join(dir, "ledger.jsonl")
+	var logBuf bytes.Buffer
+	sess, err := NewSession("test", Flags{
+		LogFormat: "text", LogLevel: "info",
+		MetricsOut: metricsPath,
+		LedgerOut:  ledgerPath,
+	}, Options{LogWriter: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A three-task suite; the first task records a metric and then
+	// cancels the run, standing in for SIGINT arriving mid-suite.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tasks := []engine.Task{
+		{ID: "first", Artifact: "T", Description: "cancels the suite", Run: func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
+			sess.Metrics.Counter("test.progress").Add(41)
+			cancel()
+			return nil, ctx.Err()
+		}},
+		{ID: "second", Artifact: "T", Description: "never starts", Run: func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
+			t.Error("second task ran after cancellation")
+			return nil, nil
+		}},
+		{ID: "third", Artifact: "T", Description: "never starts", Run: func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
+			t.Error("third task ran after cancellation")
+			return nil, nil
+		}},
+	}
+	runner := &engine.Runner{
+		OnStart: func(task engine.Task, seed uint64) { sess.Deltas.Begin(task.ID) },
+		OnDone: func(rep engine.Report) {
+			errStr := ""
+			if rep.Err != nil {
+				errStr = rep.Err.Error()
+			}
+			sess.Ledger.Append(obs.LedgerRecord{
+				Program: "test", ID: rep.Task.ID,
+				Config:   map[string]any{"quick": true},
+				BaseSeed: 1, Seed: rep.Seed,
+				Outcome: rep.Outcome(), Error: errStr,
+				WallSeconds:  rep.Wall.Seconds(),
+				MetricsDelta: sess.Deltas.End(rep.Task.ID),
+			})
+		},
+	}
+	reports := runner.RunSuite(ctx, tasks, engine.Config{Quick: true, Seed: 1})
+	if engine.Failed(reports) != 3 {
+		t.Fatalf("expected all 3 tasks to fail under cancellation, got %d", engine.Failed(reports))
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close on the cancel path: %v", err)
+	}
+
+	// The metrics file must exist and be valid snapshot JSON carrying
+	// the pre-interrupt counter.
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics file missing after interrupt: %v", err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("interrupted metrics file is not valid JSON: %v\n%s", err, data)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "test.progress" || snap.Counters[0].Value != 41 {
+		t.Errorf("interrupted metrics lost data: %+v", snap)
+	}
+
+	// The ledger must hold one schema-stamped record per task, with
+	// the cancellation classified.
+	lf, err := os.Open(ledgerPath)
+	if err != nil {
+		t.Fatalf("ledger missing after interrupt: %v", err)
+	}
+	defer lf.Close()
+	outcomes := map[string]string{}
+	sc := bufio.NewScanner(lf)
+	for sc.Scan() {
+		var rec obs.LedgerRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("ledger line unparseable: %v\n%s", err, sc.Text())
+		}
+		if rec.Schema != obs.LedgerSchema {
+			t.Errorf("ledger schema = %q", rec.Schema)
+		}
+		outcomes[rec.ID] = rec.Outcome
+	}
+	if len(outcomes) != 3 {
+		t.Fatalf("ledger records = %d, want 3 (skipped tasks must be recorded): %v", len(outcomes), outcomes)
+	}
+	for id, o := range outcomes {
+		if o != "canceled" {
+			t.Errorf("task %s outcome = %q, want canceled", id, o)
+		}
+	}
+}
+
+// TestSessionServeLifecycle starts the obs server through a session,
+// scrapes it, and verifies Close shuts it down.
+func TestSessionServeLifecycle(t *testing.T) {
+	var logBuf bytes.Buffer
+	s, err := NewSession("t", Flags{
+		LogFormat: "text", LogLevel: "info", Serve: "127.0.0.1:0",
+	}, Options{LogWriter: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics == nil {
+		t.Fatal("-serve must enable the registry")
+	}
+	// The bound address is logged for the user; recover it from the
+	// server handle via the log line.
+	logLine := logBuf.String()
+	idx := strings.Index(logLine, "addr=")
+	if idx < 0 {
+		t.Fatalf("bound address not logged: %q", logLine)
+	}
+	addr := strings.Fields(logLine[idx+len("addr="):])[0]
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("server not reachable at %s: %v", addr, err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -378,3 +378,64 @@ func TestWriteJSONShape(t *testing.T) {
 		t.Errorf("failed task exported wrong: %+v", out.Experiments[1])
 	}
 }
+
+func TestRunnerOnStartObservesDerivedSeed(t *testing.T) {
+	var mu sync.Mutex
+	started := map[string]uint64{}
+	r := &Runner{
+		Pool: NewPool(4),
+		OnStart: func(task Task, seed uint64) {
+			mu.Lock()
+			started[task.ID] = seed
+			mu.Unlock()
+		},
+	}
+	tasks := []Task{okTask("a"), okTask("b"), okTask("c")}
+	reports := r.RunSuite(context.Background(), tasks, Config{Seed: 7})
+	for _, rep := range reports {
+		seed, ok := started[rep.Task.ID]
+		if !ok {
+			t.Errorf("OnStart missed %s", rep.Task.ID)
+			continue
+		}
+		if seed != rep.Seed || seed != DeriveSeed(7, rep.Task.ID) {
+			t.Errorf("%s: OnStart seed = %d, report seed = %d", rep.Task.ID, seed, rep.Seed)
+		}
+	}
+}
+
+func TestRunSuiteCanceledTasksStillReachOnDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var mu sync.Mutex
+	outcomes := map[string]string{}
+	r := &Runner{OnDone: func(rep Report) {
+		mu.Lock()
+		outcomes[rep.Task.ID] = rep.Outcome()
+		mu.Unlock()
+	}}
+	r.RunSuite(ctx, []Task{okTask("a"), okTask("b")}, Config{Seed: 1})
+	for _, id := range []string{"a", "b"} {
+		if outcomes[id] != "canceled" {
+			t.Errorf("%s outcome = %q, want canceled (skipped tasks must reach OnDone)", id, outcomes[id])
+		}
+	}
+}
+
+func TestReportOutcome(t *testing.T) {
+	cases := []struct {
+		rep  Report
+		want string
+	}{
+		{Report{}, "ok"},
+		{Report{Err: errors.New("boom")}, "error"},
+		{Report{Err: fmt.Errorf("task: %w", context.Canceled)}, "canceled"},
+		{Report{Err: fmt.Errorf("task: %w", context.DeadlineExceeded)}, "timeout"},
+		{Report{Err: errors.New("panicked"), Panicked: true}, "panic"},
+	}
+	for _, c := range cases {
+		if got := c.rep.Outcome(); got != c.want {
+			t.Errorf("Outcome(%+v) = %q, want %q", c.rep, got, c.want)
+		}
+	}
+}

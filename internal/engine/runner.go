@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -49,6 +50,11 @@ type Runner struct {
 	// through context cancellation and abandoned if it ignores the
 	// signal, so even a non-cooperative task cannot stall the suite.
 	Timeout time.Duration
+	// OnStart, when non-nil, observes each task just before its Run is
+	// invoked, with the derived seed it will run with (start order,
+	// concurrently under parallel execution) — progress reporting, not
+	// part of the deterministic output.
+	OnStart func(t Task, seed uint64)
 	// OnDone, when non-nil, observes each report as its task finishes
 	// (completion order, concurrently under parallel execution) —
 	// progress reporting, not part of the deterministic output.
@@ -67,6 +73,9 @@ func (r *Runner) RunTask(ctx context.Context, t Task, cfg Config) Report {
 	}
 	defer cancel()
 
+	if r.OnStart != nil {
+		r.OnStart(t, cfg.Seed)
+	}
 	start := time.Now()
 	type outcome struct {
 		res      Result
@@ -126,9 +135,31 @@ func (r *Runner) RunSuite(ctx context.Context, tasks []Task, cfg Config) []Repor
 				Seed: DeriveSeed(cfg.Seed, tasks[i].ID),
 				Err:  fmt.Errorf("engine: task %s: %w", tasks[i].ID, err),
 			}
+			// Tasks skipped by cancellation never reach RunTask, but
+			// observers (progress, ledger) must still see them finish.
+			if r.OnDone != nil {
+				r.OnDone(reports[i])
+			}
 		}
 	}
 	return reports
+}
+
+// Outcome classifies the report for ledgers and structured logs:
+// "ok", "panic", "timeout", "canceled" or "error".
+func (r Report) Outcome() string {
+	switch {
+	case r.Err == nil:
+		return "ok"
+	case r.Panicked:
+		return "panic"
+	case errors.Is(r.Err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(r.Err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
 }
 
 // Failed counts reports with errors.

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+
+	"branchscope/internal/telemetry"
+)
+
+// LedgerSchema versions ledger records; bump on incompatible change.
+const LedgerSchema = "branchscope.ledger/v1"
+
+// LedgerRecord is one run-provenance entry: everything needed to
+// re-derive and audit a result claim — which experiment, under which
+// configuration and seeds, what came out, and what the telemetry
+// registry saw while it ran. RESULTS.md numbers become greppable
+// artifacts: `grep '"id":"table2"' ledger.jsonl | jq .result_digest`.
+type LedgerRecord struct {
+	Schema   string `json:"schema"`
+	Program  string `json:"program"`
+	ID       string `json:"id"`
+	Artifact string `json:"artifact,omitempty"`
+	// Config is the flag-level configuration the task ran under. A Go
+	// map marshals with sorted keys, so records are deterministic.
+	Config map[string]any `json:"config"`
+	// BaseSeed is the root seed; Seed the task's derived seed (equal
+	// when the program runs a single root task).
+	BaseSeed uint64 `json:"base_seed"`
+	Seed     uint64 `json:"seed"`
+	// Outcome is "ok", "error", "panic", "timeout" or "canceled".
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+	// WallSeconds is the one nondeterministic field (0 in golden tests).
+	WallSeconds float64 `json:"wall_seconds"`
+	// ResultDigest fingerprints the rendered result ("sha256:<hex>");
+	// two runs agreeing here produced byte-identical result text.
+	ResultDigest string `json:"result_digest,omitempty"`
+	// MetricsDelta is the telemetry registry's change attributed to
+	// this task (see DeltaRecorder for the attribution caveat).
+	MetricsDelta *telemetry.Snapshot `json:"metrics_delta,omitempty"`
+}
+
+// Digest fingerprints a rendered result for a LedgerRecord.
+func Digest(result string) string {
+	sum := sha256.Sum256([]byte(result))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// Ledger appends schema-versioned JSONL records to a writer, one line
+// per completed task/run. Appends are mutex-serialized so concurrent
+// runner hooks never interleave lines. The nil Ledger is valid and
+// drops records, matching the telemetry layer's nil-safety idiom.
+type Ledger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLedger wraps w; the caller owns closing it.
+func NewLedger(w io.Writer) *Ledger { return &Ledger{w: w} }
+
+// Append writes one record as a single JSON line, stamping the schema
+// if the caller left it empty.
+func (l *Ledger) Append(rec LedgerRecord) error {
+	if l == nil {
+		return nil
+	}
+	if rec.Schema == "" {
+		rec.Schema = LedgerSchema
+	}
+	if rec.Config == nil {
+		rec.Config = map[string]any{}
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(data)
+	return err
+}
+
+// DeltaRecorder attributes registry deltas to tasks: Begin snapshots
+// the registry when a task starts, End returns what changed while it
+// ran (nil when nothing did). Attribution is exact at -parallel 1; with
+// concurrent tasks the windows overlap and each open window sees every
+// concurrent task's updates — still useful as an upper bound, and the
+// ledger's per-task seeds disambiguate reruns. Nil-safe throughout.
+type DeltaRecorder struct {
+	reg  *telemetry.Registry
+	mu   sync.Mutex
+	prev map[string]telemetry.Snapshot
+}
+
+// NewDeltaRecorder returns a recorder over reg, or nil when reg is nil
+// (no registry means no deltas to record).
+func NewDeltaRecorder(reg *telemetry.Registry) *DeltaRecorder {
+	if reg == nil {
+		return nil
+	}
+	return &DeltaRecorder{reg: reg, prev: make(map[string]telemetry.Snapshot)}
+}
+
+// Begin opens id's attribution window.
+func (d *DeltaRecorder) Begin(id string) {
+	if d == nil {
+		return
+	}
+	snap := d.reg.Snapshot()
+	d.mu.Lock()
+	d.prev[id] = snap
+	d.mu.Unlock()
+}
+
+// End closes id's window and returns the delta, nil when empty or when
+// Begin was never called for id.
+func (d *DeltaRecorder) End(id string) *telemetry.Snapshot {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	prev, ok := d.prev[id]
+	delete(d.prev, id)
+	d.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	delta := d.reg.Snapshot().Delta(prev)
+	if len(delta.Counters)+len(delta.Gauges)+len(delta.Histograms) == 0 {
+		return nil
+	}
+	return &delta
+}
+
+// OutcomeOf classifies a single-run error the way engine.Report.Outcome
+// classifies suite tasks, for programs (branchscope, phtmap) that run
+// one root task without the engine runner.
+func OutcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}

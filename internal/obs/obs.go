@@ -1,0 +1,160 @@
+// Package obs is the live observability service layer: an HTTP server
+// exposing the telemetry registry as Prometheus text (/metrics), suite
+// progress as JSON (/statusz), liveness and readiness probes, and the
+// Go profiler (/debug/pprof) — plus the structured logger and the
+// run-provenance ledger shared by the CLIs.
+//
+// Everything here lives outside the simulated machine: handlers read
+// wall clocks and atomics but never write into the simulator, so
+// serving a scrape mid-run cannot perturb the deterministic report on
+// stdout (see DESIGN.md §3.14).
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+
+	"branchscope/internal/telemetry"
+	"branchscope/internal/telemetry/promtext"
+)
+
+// Server assembles the endpoint handlers. Every field is optional:
+// a zero Server still serves /healthz and pprof.
+type Server struct {
+	// Program names the process in /statusz ("experiments", ...).
+	Program string
+	// Metrics feeds /metrics and the /statusz histogram summaries.
+	Metrics *telemetry.Registry
+	// Status feeds /statusz; nil serves a minimal document.
+	Status func() Status
+	// Ready feeds /readyz; nil means always ready.
+	Ready func() bool
+	// Log receives handler errors; nil discards them.
+	Log *slog.Logger
+}
+
+// Handler builds the endpoint mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Ready != nil && !s.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", promtext.ContentType)
+		if err := promtext.Write(w, s.Metrics.Snapshot()); err != nil && s.Log != nil {
+			s.Log.Error("metrics scrape failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		st := Status{Schema: StatusSchema}
+		if s.Status != nil {
+			st = s.Status()
+		}
+		if st.Program == "" {
+			st.Program = s.Program
+		}
+		st.PID = os.Getpid()
+		st.GoVersion = runtime.Version()
+		for _, h := range s.Metrics.Snapshot().Histograms {
+			st.Histograms = append(st.Histograms, HistogramStatus{
+				Name:  h.Name,
+				Count: h.Count,
+				Mean:  h.Mean(),
+				P50:   h.Quantile(0.50),
+				P95:   h.Quantile(0.95),
+				P99:   h.Quantile(0.99),
+				Max:   h.Max,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil && s.Log != nil {
+			s.Log.Error("statusz render failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "branchscope observability (%s)\nendpoints: /metrics /statusz /healthz /readyz /debug/pprof/\n", s.Program)
+	})
+	return mux
+}
+
+// Start binds addr (":8080", "127.0.0.1:0", ...) and serves in the
+// background. The returned Handle reports the bound address — so
+// ":0" callers can discover their port — and shuts the server down
+// gracefully.
+func (s *Server) Start(addr string) (*Handle, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	h := &Handle{addr: ln.Addr(), srv: srv, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			h.serveErr = err
+			if s.Log != nil {
+				s.Log.Error("observability server failed", "addr", ln.Addr().String(), "err", err)
+			}
+		}
+	}()
+	return h, nil
+}
+
+// Handle is a started server.
+type Handle struct {
+	addr     net.Addr
+	srv      *http.Server
+	done     chan struct{}
+	serveErr error
+}
+
+// Addr returns the bound address ("127.0.0.1:43521").
+func (h *Handle) Addr() string {
+	if h == nil {
+		return ""
+	}
+	return h.addr.String()
+}
+
+// Shutdown drains in-flight requests until ctx expires, then waits for
+// the serve loop to exit. Nil-safe; idempotent.
+func (h *Handle) Shutdown(ctx context.Context) error {
+	if h == nil {
+		return nil
+	}
+	err := h.srv.Shutdown(ctx)
+	<-h.done
+	if err == nil {
+		err = h.serveErr
+	}
+	return err
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"branchscope/internal/telemetry"
+	"branchscope/internal/telemetry/promtext"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("covert.episodes").Add(7)
+	reg.Histogram("probe.cycles", []uint64{10, 100}).Observe(42)
+	tracker := NewTracker("test", 1, true, []string{"fig2", "table1"})
+	tracker.Begin("fig2", 99)
+	tracker.End("fig2", 80*time.Millisecond, nil)
+	tracker.Begin("table1", 42)
+
+	s := &Server{Program: "test", Metrics: reg, Status: tracker.Status, Ready: tracker.Ready}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/readyz"); code != 200 || body != "ready\n" {
+		t.Errorf("/readyz = %d %q", code, body)
+	}
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if err := promtext.Lint(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics fails exposition lint: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "covert_episodes_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, body)
+	}
+	if st.Schema != StatusSchema || st.Program != "test" || st.BaseSeed != 1 || !st.Quick {
+		t.Errorf("statusz header = %+v", st)
+	}
+	if st.Done != 1 || st.Running != 1 || st.Pending != 0 {
+		t.Errorf("statusz counts = done=%d running=%d pending=%d, want 1/1/0", st.Done, st.Running, st.Pending)
+	}
+	if len(st.Tasks) != 2 || st.Tasks[0].ID != "fig2" || st.Tasks[0].State != "done" || st.Tasks[0].Seed != 99 {
+		t.Errorf("statusz tasks = %+v", st.Tasks)
+	}
+	if len(st.Histograms) != 1 || st.Histograms[0].Name != "probe.cycles" || st.Histograms[0].P50 != 42 {
+		t.Errorf("statusz histograms = %+v", st.Histograms)
+	}
+	if st.PID == 0 || st.GoVersion == "" {
+		t.Errorf("statusz missing process identity: %+v", st)
+	}
+
+	if code, body := get(t, srv, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d %q", code, body)
+	}
+	if code, _ := get(t, srv, "/nope"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestReadyzNotReady(t *testing.T) {
+	s := &Server{Ready: func() bool { return false }}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if code, _ := get(t, srv, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d, want 503", code)
+	}
+	// Liveness is independent of readiness.
+	if code, _ := get(t, srv, "/healthz"); code != 200 {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+}
+
+func TestNilRegistryServesEmptyMetrics(t *testing.T) {
+	s := &Server{}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if code, body := get(t, srv, "/metrics"); code != 200 || body != "" {
+		t.Errorf("/metrics on nil registry = %d %q, want 200 and empty", code, body)
+	}
+	code, body := get(t, srv, "/statusz")
+	var st Status
+	if code != 200 || json.Unmarshal([]byte(body), &st) != nil {
+		t.Errorf("/statusz on zero server = %d %q", code, body)
+	}
+}
+
+// TestConcurrentScrape hits /metrics and /statusz while instruments and
+// the tracker are updated concurrently — the mid-run scrape path, run
+// under -race in CI.
+func TestConcurrentScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracker := NewTracker("race", 1, true, []string{"a", "b", "c"})
+	s := &Server{Program: "race", Metrics: reg, Status: tracker.Status}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := reg.Histogram("h", telemetry.ExpBuckets(1, 2, 10))
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Counter("c").Inc()
+				h.Observe(i % 500)
+				id := string(rune('a' + i%3))
+				tracker.Begin(id, i)
+				tracker.End(id, time.Duration(i), nil)
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		_, body := get(t, srv, "/metrics")
+		if err := promtext.Lint(strings.NewReader(body)); err != nil {
+			t.Fatalf("scrape %d fails lint: %v\n%s", i, err, body)
+		}
+		var st Status
+		if _, body := get(t, srv, "/statusz"); json.Unmarshal([]byte(body), &st) != nil {
+			t.Fatalf("scrape %d: statusz not JSON:\n%s", i, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestStartShutdown(t *testing.T) {
+	s := &Server{Program: "t"}
+	h, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Addr() == "" || strings.HasSuffix(h.Addr(), ":0") {
+		t.Errorf("bound address not discovered: %q", h.Addr())
+	}
+	resp, err := http.Get("http://" + h.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := h.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + h.Addr() + "/healthz"); err == nil {
+		t.Error("server still reachable after shutdown")
+	}
+}
+
+func TestOutcomeOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{context.Canceled, "canceled"},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), "timeout"},
+		{errors.New("boom"), "error"},
+	}
+	for _, c := range cases {
+		if got := OutcomeOf(c.err); got != c.want {
+			t.Errorf("OutcomeOf(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestNilTrackerAndLogger(t *testing.T) {
+	var tr *Tracker
+	tr.Begin("x", 1)
+	tr.End("x", 0, nil)
+	if tr.Ready() {
+		t.Error("nil tracker reports ready")
+	}
+	if st := tr.Status(); st.Schema != StatusSchema {
+		t.Errorf("nil tracker status = %+v", st)
+	}
+	if _, err := NewLogger(io.Discard, "yaml", "info"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := NewLogger(io.Discard, "json", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+	log, err := NewLogger(io.Discard, "json", "debug")
+	if err != nil || log == nil {
+		t.Fatalf("valid logger rejected: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StatusSchema versions the /statusz JSON document.
+const StatusSchema = "branchscope.statusz/v1"
+
+// TaskStatus is one task's live state in a Status document.
+type TaskStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // pending | running | done | failed
+	// Seed is the derived seed the task runs with (0 until it starts).
+	Seed uint64 `json:"seed,omitempty"`
+	// WallSeconds is the task's duration once finished, or its age so
+	// far while running.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// HistogramStatus summarizes one metrics histogram for /statusz.
+type HistogramStatus struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// Status is the /statusz document: live suite progress plus process
+// identity. It deliberately lives outside the simulated machine — wall
+// clocks here never feed back into experiment results.
+type Status struct {
+	Schema        string       `json:"schema"`
+	Program       string       `json:"program"`
+	PID           int          `json:"pid"`
+	GoVersion     string       `json:"go"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	BaseSeed      uint64       `json:"base_seed"`
+	Quick         bool         `json:"quick"`
+	Pending       int          `json:"pending"`
+	Running       int          `json:"running"`
+	Done          int          `json:"done"`
+	Failed        int          `json:"failed"`
+	Tasks         []TaskStatus `json:"tasks"`
+	// Histograms carries p50/p95/p99 summaries of the live metrics
+	// registry; filled by the obs server, not the tracker.
+	Histograms []HistogramStatus `json:"histograms,omitempty"`
+}
+
+// Tracker accumulates per-task progress from engine runner hooks and
+// renders it as a Status. All methods are safe for concurrent use (the
+// runner invokes hooks from worker goroutines) and no-ops on a nil
+// tracker.
+type Tracker struct {
+	program  string
+	baseSeed uint64
+	quick    bool
+	start    time.Time
+
+	mu      sync.Mutex
+	order   []string
+	tasks   map[string]*TaskStatus
+	started map[string]time.Time
+}
+
+// NewTracker declares the suite up front: every id starts pending, so
+// /statusz shows the full suite shape from the first scrape.
+func NewTracker(program string, baseSeed uint64, quick bool, ids []string) *Tracker {
+	t := &Tracker{
+		program:  program,
+		baseSeed: baseSeed,
+		quick:    quick,
+		start:    time.Now(),
+		tasks:    make(map[string]*TaskStatus, len(ids)),
+		started:  make(map[string]time.Time),
+	}
+	for _, id := range ids {
+		t.add(id)
+	}
+	return t
+}
+
+// add registers id if new; callers hold mu or have exclusive access.
+func (t *Tracker) add(id string) *TaskStatus {
+	ts := t.tasks[id]
+	if ts == nil {
+		ts = &TaskStatus{ID: id, State: "pending"}
+		t.tasks[id] = ts
+		t.order = append(t.order, id)
+	}
+	return ts
+}
+
+// Begin marks a task running with its derived seed.
+func (t *Tracker) Begin(id string, seed uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.add(id)
+	ts.State = "running"
+	ts.Seed = seed
+	t.started[id] = time.Now()
+}
+
+// End marks a task done or failed.
+func (t *Tracker) End(id string, wall time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.add(id)
+	ts.State = "done"
+	ts.WallSeconds = wall.Seconds()
+	if err != nil {
+		ts.State = "failed"
+		ts.Error = err.Error()
+	}
+	delete(t.started, id)
+}
+
+// Ready reports whether the suite has been declared — the /readyz
+// answer. A nil tracker is never ready.
+func (t *Tracker) Ready() bool { return t != nil }
+
+// Status renders the current progress. Safe on a nil tracker (an empty
+// document), so the obs server works without one.
+func (t *Tracker) Status() Status {
+	s := Status{Schema: StatusSchema}
+	if t == nil {
+		return s
+	}
+	s.Program = t.program
+	s.BaseSeed = t.baseSeed
+	s.Quick = t.quick
+	s.UptimeSeconds = time.Since(t.start).Seconds()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	for _, id := range t.order {
+		ts := *t.tasks[id]
+		if ts.State == "running" {
+			ts.WallSeconds = now.Sub(t.started[id]).Seconds()
+		}
+		switch ts.State {
+		case "pending":
+			s.Pending++
+		case "running":
+			s.Running++
+		case "done":
+			s.Done++
+		case "failed":
+			s.Failed++
+		}
+		s.Tasks = append(s.Tasks, ts)
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+// Delta returns the change from prev to s, for attributing a window of
+// activity (one scrape interval, one task) out of cumulative snapshots.
+// Semantics per instrument kind:
+//
+//   - Counters: the value difference. Counters whose value did not
+//     change (or that vanished) are dropped, so a delta of a quiet
+//     window is empty.
+//   - Gauges: gauges are levels, not rates, so a delta carries the
+//     current value — but only for gauges that changed or appeared
+//     since prev.
+//   - Histograms: per-bucket, count, sum and overflow differences.
+//     Min and Max stay cumulative (the window's extremes are not
+//     derivable from two cumulative snapshots) and are therefore
+//     only meaningful on the first window. Histograms with no new
+//     observations are dropped.
+//
+// A counter or bucket that moved backwards (a restarted registry) is
+// treated as if prev were zero. Both snapshots must come from the same
+// registry for bucket layouts to pair up; mismatched layouts fall back
+// to treating the histogram as new.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	var d Snapshot
+
+	prevCounters := make(map[string]uint64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevCounters[c.Name] = c.Value
+	}
+	for _, c := range s.Counters {
+		v := sub(c.Value, prevCounters[c.Name])
+		if v != 0 {
+			d.Counters = append(d.Counters, CounterSnapshot{Name: c.Name, Value: v})
+		}
+	}
+
+	prevGauges := make(map[string]float64, len(prev.Gauges))
+	gaugeSeen := make(map[string]bool, len(prev.Gauges))
+	for _, g := range prev.Gauges {
+		prevGauges[g.Name] = g.Value
+		gaugeSeen[g.Name] = true
+	}
+	for _, g := range s.Gauges {
+		if !gaugeSeen[g.Name] || prevGauges[g.Name] != g.Value {
+			d.Gauges = append(d.Gauges, g)
+		}
+	}
+
+	prevHists := make(map[string]HistogramSnapshot, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevHists[h.Name] = h
+	}
+	for _, h := range s.Histograms {
+		p, ok := prevHists[h.Name]
+		if ok && !sameBounds(h.Buckets, p.Buckets) {
+			ok = false // layout changed: treat as new
+		}
+		dh := h
+		if ok {
+			dh.Count = sub(h.Count, p.Count)
+			dh.Sum = sub(h.Sum, p.Sum)
+			dh.Overflow = sub(h.Overflow, p.Overflow)
+			dh.Buckets = make([]BucketSnapshot, len(h.Buckets))
+			for i, b := range h.Buckets {
+				dh.Buckets[i] = BucketSnapshot{LE: b.LE, Count: sub(b.Count, p.Buckets[i].Count)}
+			}
+		}
+		if dh.Count != 0 {
+			d.Histograms = append(d.Histograms, dh)
+		}
+	}
+	return d
+}
+
+func sub(cur, prev uint64) uint64 {
+	if prev > cur {
+		return cur
+	}
+	return cur - prev
+}
+
+func sameBounds(a, b []BucketSnapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].LE != b[i].LE {
+			return false
+		}
+	}
+	return true
+}

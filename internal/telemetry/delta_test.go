@@ -1,0 +1,88 @@
+package telemetry
+
+import "testing"
+
+func TestDeltaCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(10)
+	r.Counter("quiet").Add(5)
+	prev := r.Snapshot()
+	r.Counter("a").Add(3)
+	r.Counter("new").Add(2)
+	d := r.Snapshot().Delta(prev)
+
+	if len(d.Counters) != 2 {
+		t.Fatalf("delta counters = %+v, want a=3 and new=2 only", d.Counters)
+	}
+	if d.Counters[0].Name != "a" || d.Counters[0].Value != 3 {
+		t.Errorf("counter a delta = %+v, want 3", d.Counters[0])
+	}
+	if d.Counters[1].Name != "new" || d.Counters[1].Value != 2 {
+		t.Errorf("counter new delta = %+v, want 2", d.Counters[1])
+	}
+}
+
+func TestDeltaGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("same").Set(1.5)
+	r.Gauge("moves").Set(2)
+	prev := r.Snapshot()
+	r.Gauge("moves").Set(7)
+	r.Gauge("appears").Set(9)
+	d := r.Snapshot().Delta(prev)
+
+	if len(d.Gauges) != 2 {
+		t.Fatalf("delta gauges = %+v, want moves and appears only", d.Gauges)
+	}
+	if d.Gauges[0].Name != "appears" || d.Gauges[0].Value != 9 {
+		t.Errorf("gauge appears = %+v", d.Gauges[0])
+	}
+	if d.Gauges[1].Name != "moves" || d.Gauges[1].Value != 7 {
+		t.Errorf("gauge moves = %+v, want current value 7", d.Gauges[1])
+	}
+}
+
+func TestDeltaHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	r.Histogram("quiet", []uint64{10}).Observe(1)
+	prev := r.Snapshot()
+	h.Observe(7)
+	h.Observe(1000) // overflow
+	d := r.Snapshot().Delta(prev)
+
+	if len(d.Histograms) != 1 {
+		t.Fatalf("delta histograms = %+v, want h only", d.Histograms)
+	}
+	dh := d.Histograms[0]
+	if dh.Name != "h" || dh.Count != 2 || dh.Sum != 1007 || dh.Overflow != 1 {
+		t.Errorf("h delta = %+v, want count=2 sum=1007 overflow=1", dh)
+	}
+	if dh.Buckets[0].Count != 1 || dh.Buckets[1].Count != 0 {
+		t.Errorf("h bucket deltas = %+v, want [1 0]", dh.Buckets)
+	}
+}
+
+func TestDeltaOfIdenticalSnapshotsIsEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []uint64{8}).Observe(4)
+	s := r.Snapshot()
+	d := s.Delta(s)
+	if len(d.Counters)+len(d.Gauges)+len(d.Histograms) != 0 {
+		t.Errorf("self-delta not empty: %+v", d)
+	}
+}
+
+func TestDeltaBackwardsCounterTreatedAsNew(t *testing.T) {
+	var prev, cur Snapshot
+	prev.Counters = []CounterSnapshot{{Name: "c", Value: 100}}
+	cur.Counters = []CounterSnapshot{{Name: "c", Value: 40}}
+	d := cur.Delta(prev)
+	if len(d.Counters) != 1 || d.Counters[0].Value != 40 {
+		t.Errorf("backwards counter delta = %+v, want full current value 40", d.Counters)
+	}
+}

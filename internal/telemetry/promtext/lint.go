@@ -1,0 +1,189 @@
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint checks text against the exposition-format grammar this package
+// emits, strictly enough to catch real encoder regressions:
+//
+//   - every sample belongs to a family announced by a preceding
+//     "# HELP" and "# TYPE" pair (HELP first, in that order);
+//   - family names match the metric-name alphabet and TYPE is one of
+//     the format's five types;
+//   - sample values parse as floats (or "+Inf"/"-Inf"/"NaN");
+//   - histogram bucket series are cumulative (counts nondecreasing in
+//     emission order), end in an le="+Inf" bucket, and that bucket
+//     equals the family's _count sample, which must be present along
+//     with _sum.
+//
+// It returns the first violation found, with its 1-based line number.
+func Lint(r io.Reader) error {
+	nameRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRE := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)(?: \d+)?$`)
+
+	type hist struct {
+		lastBucket uint64
+		infBucket  *uint64
+		count      *uint64
+		sumSeen    bool
+	}
+	helpSeen := map[string]bool{}
+	typeOf := map[string]string{}
+	hists := map[string]*hist{}
+
+	// histFamily resolves a histogram sample name (x_bucket, x_sum,
+	// x_count) to its family, preferring the longest declared match so
+	// a family literally named "x_count" still resolves.
+	histFamily := func(name string) (fam, kind string) {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && typeOf[base] == "histogram" {
+				return base, suffix
+			}
+		}
+		return "", ""
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	nonEmpty := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		nonEmpty = true
+
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment: legal, ignored
+			}
+			name := fields[2]
+			if !nameRE.MatchString(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in %s", lineNo, name, fields[1])
+			}
+			switch fields[1] {
+			case "HELP":
+				if helpSeen[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helpSeen[name] = true
+			case "TYPE":
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %q", lineNo, typ, name)
+				}
+				if !helpSeen[name] {
+					return fmt.Errorf("line %d: TYPE for %q precedes its HELP", lineNo, name)
+				}
+				if _, dup := typeOf[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				typeOf[name] = typ
+				if typ == "histogram" {
+					hists[name] = &hist{}
+				}
+			}
+			continue
+		}
+
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: unparseable sample line %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: sample value %q is not a float: %v", lineNo, value, err)
+		}
+
+		fam, kind := name, ""
+		if typeOf[name] == "" {
+			fam, kind = histFamily(name)
+			if fam == "" {
+				return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+			}
+		}
+		if !helpSeen[fam] {
+			return fmt.Errorf("line %d: sample %q has no preceding # HELP", lineNo, name)
+		}
+
+		h := hists[fam]
+		if typeOf[fam] == "histogram" {
+			if h == nil {
+				return fmt.Errorf("line %d: internal: histogram %q untracked", lineNo, fam)
+			}
+			switch kind {
+			case "_bucket":
+				le := labelValue(labels, "le")
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				c := uint64(v)
+				if float64(c) != v || v < 0 {
+					return fmt.Errorf("line %d: bucket count %q is not a nonnegative integer", lineNo, value)
+				}
+				if c < h.lastBucket {
+					return fmt.Errorf("line %d: bucket counts not cumulative: %d after %d", lineNo, c, h.lastBucket)
+				}
+				h.lastBucket = c
+				if le == "+Inf" {
+					cc := c
+					h.infBucket = &cc
+				}
+			case "_count":
+				c := uint64(v)
+				h.count = &c
+			case "_sum":
+				h.sumSeen = true
+			default:
+				return fmt.Errorf("line %d: sample %q is not a _bucket/_sum/_count series of histogram %q", lineNo, name, fam)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !nonEmpty {
+		return fmt.Errorf("empty exposition")
+	}
+
+	for fam, h := range hists {
+		if h.infBucket == nil {
+			return fmt.Errorf("histogram %q has no le=\"+Inf\" bucket", fam)
+		}
+		if h.count == nil || !h.sumSeen {
+			return fmt.Errorf("histogram %q is missing _count or _sum", fam)
+		}
+		if *h.infBucket != *h.count {
+			return fmt.Errorf("histogram %q: +Inf bucket %d != _count %d", fam, *h.infBucket, *h.count)
+		}
+	}
+	return nil
+}
+
+// labelValue extracts one label's (unescaped) value from a label body
+// like `le="64",job="x"`.
+func labelValue(body, key string) string {
+	for _, kv := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || strings.TrimSpace(k) != key {
+			continue
+		}
+		return strings.Trim(v, `"`)
+	}
+	return ""
+}

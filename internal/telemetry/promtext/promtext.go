@@ -1,0 +1,131 @@
+// Package promtext renders telemetry snapshots in the Prometheus text
+// exposition format, version 0.0.4 — the format every Prometheus-
+// compatible scraper understands — without importing any client
+// library (the module is stdlib-only by design).
+//
+// Mapping from the registry's instruments:
+//
+//   - Counter  → one "counter" family named <sanitized>_total.
+//   - Gauge    → one "gauge" family.
+//   - Histogram → one "histogram" family with cumulative
+//     <name>_bucket{le="..."} series, a closing le="+Inf" bucket equal
+//     to <name>_count, plus <name>_sum and <name>_count.
+//
+// Registry names use dots ("covert.episodes"); Prometheus names must
+// match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid rune becomes "_"
+// (with a leading "_" prepended when the name starts with a digit) and
+// the original name is preserved in the HELP line. Families are
+// emitted in snapshot order (name-sorted per section), so the output
+// is byte-deterministic for identical registry contents; a sanitation
+// collision deterministically suffixes "_2", "_3", ... in that order.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"branchscope/internal/telemetry"
+)
+
+// ContentType is the Content-Type an HTTP handler should declare for
+// this exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeName maps an arbitrary registry metric name onto the
+// Prometheus metric-name alphabet.
+func SanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP docstring per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects
+// (shortest round-trip form; "+Inf"/"-Inf"/"NaN" spellings are what
+// strconv emits for the specials).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// namer hands out collision-free sanitized family names.
+type namer struct{ used map[string]bool }
+
+func (n *namer) family(raw string) string {
+	name := SanitizeName(raw)
+	if n.used == nil {
+		n.used = make(map[string]bool)
+	}
+	candidate := name
+	for i := 2; n.used[candidate]; i++ {
+		candidate = fmt.Sprintf("%s_%d", name, i)
+	}
+	n.used[candidate] = true
+	return candidate
+}
+
+// Write renders the snapshot in exposition format v0.0.4. The output
+// is byte-deterministic for identical snapshots.
+func Write(w io.Writer, s telemetry.Snapshot) error {
+	var b strings.Builder
+	var names namer
+
+	for _, c := range s.Counters {
+		fam := names.family(SanitizeName(c.Name) + "_total")
+		fmt.Fprintf(&b, "# HELP %s counter %s\n", fam, escapeHelp(c.Name))
+		fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(&b, "%s %d\n", fam, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fam := names.family(g.Name)
+		fmt.Fprintf(&b, "# HELP %s gauge %s\n", fam, escapeHelp(g.Name))
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+		fmt.Fprintf(&b, "%s %s\n", fam, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		fam := names.family(h.Name)
+		fmt.Fprintf(&b, "# HELP %s histogram %s\n", fam, escapeHelp(h.Name))
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		// The +Inf bucket and _count are derived from the bucket series
+		// rather than the snapshot's Count: instruments are updated
+		// lock-free, so a scrape racing Observe calls can see bucket
+		// increments whose count increment it missed. Deriving keeps the
+		// exposition grammatical (cumulative buckets, +Inf == _count) on
+		// every scrape; on a quiescent registry the two are equal.
+		var cum uint64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", fam, bk.LE, cum)
+		}
+		cum += h.Overflow
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", fam, cum)
+		fmt.Fprintf(&b, "%s_sum %d\n", fam, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", fam, cum)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

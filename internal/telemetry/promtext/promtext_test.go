@@ -1,0 +1,183 @@
+package promtext
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"branchscope/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// fixedRegistry builds the registry behind the golden file: one of each
+// instrument kind plus the edge cases the encoder must handle (dotted
+// names, leading digit, special float values, overflow observations).
+func fixedRegistry() *telemetry.Registry {
+	r := telemetry.NewRegistry()
+	r.Counter("covert.episodes").Add(1234)
+	r.Counter("cpu.branches").Add(987654321)
+	r.Gauge("experiments.fig2.wall_seconds").Set(1.25)
+	r.Gauge("3weird name!").Set(-0.5)
+	h := r.Histogram("probe.cycles", telemetry.ExpBuckets(64, 2, 4))
+	for _, v := range []uint64{60, 70, 130, 300, 9000} { // 9000 overflows
+		h.Observe(v)
+	}
+	r.Histogram("empty.hist", []uint64{10})
+	return r
+}
+
+func TestWriteGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fixedRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from %s (run with -update if intentional):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Write(&a, fixedRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, fixedRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two writes of identical registries differ")
+	}
+}
+
+func TestWriteOutputLints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fixedRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("encoder output fails its own lint: %v\n%s", err, buf.Bytes())
+	}
+	// Spot-check the histogram series: +Inf bucket must include the
+	// overflow observation.
+	out := buf.String()
+	for _, want := range []string{
+		`probe_cycles_bucket{le="+Inf"} 5`,
+		"probe_cycles_count 5",
+		"probe_cycles_sum 9560",
+		"covert_episodes_total 1234",
+		"# TYPE covert_episodes_total counter",
+		"# TYPE probe_cycles histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":   "# HELP x doc\nx 1\n",
+		"sample without HELP":   "# TYPE x counter\nx 1\n",
+		"bad type":              "# HELP x doc\n# TYPE x zigzag\nx 1\n",
+		"non-cumulative bucket": "# HELP h doc\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf != count":          "# HELP h doc\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"missing inf bucket":    "# HELP h doc\n# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 1\nh_count 3\n",
+		"non-float value":       "# HELP x doc\n# TYPE x gauge\nx banana\n",
+		"empty":                 "",
+	}
+	for name, text := range cases {
+		if err := Lint(strings.NewReader(text)); err == nil {
+			t.Errorf("Lint accepted %s:\n%s", name, text)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"covert.episodes": "covert_episodes",
+		"already_fine":    "already_fine",
+		"3weird name!":    "_3weird_name_",
+		"":                "_",
+		"a:b":             "a:b",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSanitizeCollisionsGetDistinctFamilies(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Gauge("a.b").Set(1)
+	r.Gauge("a_b").Set(2)
+	var buf bytes.Buffer
+	if err := Write(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a_b 1") || !strings.Contains(out, "a_b_2 2") {
+		t.Errorf("collision not disambiguated:\n%s", out)
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("collision output fails lint: %v", err)
+	}
+}
+
+// TestConcurrentWriteDuringUpdates exercises Write against a registry
+// whose instruments are being hammered concurrently — the /metrics
+// scrape path — under the race detector in CI.
+func TestConcurrentWriteDuringUpdates(t *testing.T) {
+	r := telemetry.NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", telemetry.ExpBuckets(1, 2, 8))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(seed + i%200)
+					r.Gauge("g").Set(float64(i))
+				}
+			}
+		}(uint64(w))
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, r.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if err := Lint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("scrape %d fails lint: %v\n%s", i, err, buf.Bytes())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := Write(io.Discard, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}

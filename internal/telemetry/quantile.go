@@ -1,0 +1,53 @@
+package telemetry
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// observations by linear interpolation within the histogram's buckets,
+// the standard estimator for fixed-bucket histograms (what Prometheus's
+// histogram_quantile computes server-side).
+//
+// The rank q*Count is located in the cumulative bucket counts and the
+// value interpolated linearly between the bucket's lower and upper
+// bounds. The overflow bucket, which has no upper bound, interpolates
+// toward the recorded Max; the estimate is finally clamped into
+// [Min, Max], which also makes single-value histograms exact. An empty
+// histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+
+	clamp := func(v float64) float64 {
+		if v < float64(h.Min) {
+			return float64(h.Min)
+		}
+		if v > float64(h.Max) {
+			return float64(h.Max)
+		}
+		return v
+	}
+
+	var cum uint64
+	lower := float64(h.Min) // lower edge of the first bucket
+	for _, b := range h.Buckets {
+		upper := float64(b.LE)
+		if b.Count > 0 && float64(cum+b.Count) >= rank {
+			pos := (rank - float64(cum)) / float64(b.Count)
+			return clamp(lower + pos*(upper-lower))
+		}
+		cum += b.Count
+		lower = upper
+	}
+	if h.Overflow > 0 {
+		upper := float64(h.Max)
+		pos := (rank - float64(cum)) / float64(h.Overflow)
+		return clamp(lower + pos*(upper-lower))
+	}
+	return float64(h.Max)
+}

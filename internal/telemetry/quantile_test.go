@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// histSnap pulls one histogram out of a registry snapshot by name.
+func histSnap(t *testing.T, r *Registry, name string) HistogramSnapshot {
+	t.Helper()
+	for _, hs := range r.Snapshot().Histograms {
+		if hs.Name == name {
+			return hs
+		}
+	}
+	t.Fatalf("histogram %q not in snapshot", name)
+	return HistogramSnapshot{}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []uint64{10, 100})
+	h := histSnap(t, r, "h")
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	hist := r.Histogram("h", []uint64{100})
+	hist.Observe(40)
+	h := histSnap(t, r, "h")
+	// One observation: every quantile collapses onto it (clamped into
+	// [Min, Max] = [40, 40]).
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 40 {
+			t.Errorf("single-value Quantile(%g) = %g, want 40", q, got)
+		}
+	}
+
+	hist.Observe(80)
+	h = histSnap(t, r, "h")
+	// Two observations in one bucket: interpolation runs from Min=40
+	// toward the bucket bound 100, clamped at Max=80.
+	if got := h.Quantile(0.5); got != 70 {
+		t.Errorf("Quantile(0.5) = %g, want 70 (40 + 0.5*(100-40))", got)
+	}
+	if got := h.Quantile(1); got != 80 {
+		t.Errorf("Quantile(1) = %g, want clamp at Max=80", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	r := NewRegistry()
+	hist := r.Histogram("h", []uint64{10, 20, 30})
+	for v := uint64(1); v <= 30; v++ {
+		hist.Observe(v)
+	}
+	h := histSnap(t, r, "h")
+	// 30 uniform observations over (0,30]: p50 should land mid-range
+	// and p95 near the top; linear interpolation is exact up to bucket
+	// granularity here.
+	if got := h.Quantile(0.5); math.Abs(got-15) > 1 {
+		t.Errorf("uniform p50 = %g, want ~15", got)
+	}
+	if got := h.Quantile(0.95); math.Abs(got-28.5) > 1 {
+		t.Errorf("uniform p95 = %g, want ~28.5", got)
+	}
+	if lo, hi := h.Quantile(0.25), h.Quantile(0.75); lo >= hi {
+		t.Errorf("quantiles not monotone: p25=%g >= p75=%g", lo, hi)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	hist := r.Histogram("h", []uint64{10})
+	hist.Observe(5)
+	hist.Observe(100)
+	hist.Observe(200)
+	hist.Observe(300)
+	h := histSnap(t, r, "h")
+	if h.Overflow != 3 {
+		t.Fatalf("overflow = %d, want 3", h.Overflow)
+	}
+	// p75 rank=3 falls inside the overflow span [10, Max=300]:
+	// 10 + (2/3)*290 ≈ 203.3.
+	if got := h.Quantile(0.75); math.Abs(got-203.33) > 0.1 {
+		t.Errorf("overflow p75 = %g, want ~203.33", got)
+	}
+	// The extremes are clamped to the recorded Min and Max.
+	if got := h.Quantile(1); got != 300 {
+		t.Errorf("Quantile(1) = %g, want Max=300", got)
+	}
+	if got := h.Quantile(0); got != 5 {
+		t.Errorf("Quantile(0) = %g, want Min=5", got)
+	}
+}

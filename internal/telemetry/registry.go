@@ -321,8 +321,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	if len(s.Histograms) > 0 {
 		fmt.Fprintf(&b, "histograms:\n")
 		for _, h := range s.Histograms {
-			fmt.Fprintf(&b, "  %-*s count=%d mean=%.1f min=%d max=%d\n",
-				width, h.Name, h.Count, h.Mean(), h.Min, h.Max)
+			fmt.Fprintf(&b, "  %-*s count=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f min=%d max=%d\n",
+				width, h.Name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Min, h.Max)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
