@@ -7,6 +7,8 @@
 //
 //	branchscope [-model Skylake] [-bits 10000] [-pattern random]
 //	            [-noisy] [-sgx] [-timing] [-seed 1] [-v]
+//	            [-chaos light|moderate|heavy|FLOAT|JSON] [-chaos-seed 0]
+//	            [-retry N]
 //	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
 //	            [-log-format text|json] [-log-level info]
@@ -25,6 +27,11 @@
 // the run (config, seed, outcome, error-rate digest, metrics delta).
 // -v additionally prints a metrics summary table with p50/p95/p99
 // cycle quantiles.
+//
+// Resilience (see DESIGN §3.15): -chaos attaches a deterministic fault
+// injector to the run; -retry N switches the spy to the resilient
+// per-bit majority-vote read, reporting bits whose vote stays
+// ambiguous as unknown rather than silently wrong.
 package main
 
 import (
@@ -150,6 +157,17 @@ func run() (code int) {
 		Seed:      *seed,
 		Telemetry: set,
 	}
+	plan, err := obsFlags.ChaosPlan(*seed)
+	if err != nil {
+		return usageErr("branchscope: %v", err)
+	}
+	if plan != nil {
+		sess.Log.Info("chaos enabled", "plan", plan.String())
+		cfg.Chaos = plan
+	}
+	if rc := obsFlags.RetryConfig(); rc != nil {
+		cfg.Retry = *rc
+	}
 	var recorders []*trace.Recorder
 	if *traced {
 		cfg.SpyHook = func(ctx *cpu.Context) {
@@ -164,6 +182,12 @@ func run() (code int) {
 	if *timing {
 		fmt.Print(", rdtscp probing")
 	}
+	if plan != nil {
+		fmt.Printf(", chaos %s", obsFlags.Chaos)
+	}
+	if cfg.Retry.MaxAttempts > 0 {
+		fmt.Printf(", retry budget %d", cfg.Retry.MaxAttempts)
+	}
 	fmt.Println()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -177,6 +201,8 @@ func run() (code int) {
 		"setting": setting.String(),
 		"sgx":     *sgxMode,
 		"timing":  *timing,
+		"chaos":   obsFlags.Chaos,
+		"retry":   obsFlags.Retry,
 	}
 	tracker.Begin("covert", *seed)
 	sess.Deltas.Begin("covert")
@@ -184,7 +210,7 @@ func run() (code int) {
 	start := time.Now()
 	res, err := experiments.RunCovert(ctx, cfg)
 	wall := time.Since(start)
-	tracker.End("covert", wall, err)
+	tracker.End("covert", wall, "", err)
 	rec := obs.LedgerRecord{
 		Program:  "branchscope",
 		ID:       "covert",
@@ -219,6 +245,12 @@ func run() (code int) {
 	}
 	if res.SetupFailed > 0 {
 		fmt.Printf("pre-attack block search failed in %d run(s)\n", res.SetupFailed)
+	}
+	if res.Unknown > 0 {
+		fmt.Printf("unknown bits: %d (budget exhausted; each scored as a coin flip)\n", res.Unknown)
+	}
+	if res.Recalibrations > 0 {
+		fmt.Printf("timing detector recalibrated %d time(s) after drift\n", res.Recalibrations)
 	}
 	fmt.Printf("average error rate: %.3f%%\n", 100*res.ErrorRate)
 	if *traced {

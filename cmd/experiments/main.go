@@ -6,6 +6,8 @@
 // Usage:
 //
 //	experiments [-quick] [-seed 1] [-parallel N] [-timeout 0]
+//	            [-chaos light|moderate|heavy|FLOAT|JSON] [-chaos-seed 0]
+//	            [-retry N]
 //	            [-list] [-check] [-md out.md] [-json out.json]
 //	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
@@ -27,6 +29,17 @@
 // cooperatively — and every requested export is still flushed on that
 // path. -json writes every result as structured rows (schema
 // branchscope.experiments/v1; see engine.WriteJSON).
+//
+// Resilience (shared surface, see internal/cliutil and DESIGN §3.15):
+// -chaos attaches a deterministic fault injector — scheduler
+// preemption, core migration, PMC corruption, TSC jitter, victim
+// slowdown — to every covert measurement; -chaos-seed reseeds the
+// fault schedule independently of -seed. -retry N switches the spy to
+// the resilient read loop (per-bit majority voting, outlier rejection,
+// Unknown on exhaustion) and also grants transiently-failed tasks up
+// to N attempts with derived per-attempt seeds. Chaos is part of the
+// determinism contract: same seed, plan, and flags give byte-identical
+// stdout at any -parallel.
 //
 // Observability (shared surface, see internal/cliutil): stdout carries
 // only the deterministic report; progress is structured slog on stderr
@@ -163,6 +176,26 @@ func run() (code int) {
 		defer experiments.SetDefaultTelemetry(nil)
 	}
 
+	// -chaos/-retry reach every covert measurement the suite regenerates
+	// through the same process-wide default idiom. The robustness sweep
+	// pins its own plan and budget per cell, so its axes stay clean even
+	// under these flags.
+	plan, err := obsFlags.ChaosPlan(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		flag.Usage()
+		return 2
+	}
+	if plan != nil {
+		sess.Log.Info("chaos enabled", "plan", plan.String())
+		experiments.SetDefaultChaos(plan)
+		defer experiments.SetDefaultChaos(nil)
+	}
+	if rc := obsFlags.RetryConfig(); rc != nil {
+		experiments.SetDefaultRetry(rc)
+		defer experiments.SetDefaultRetry(nil)
+	}
+
 	// Per-experiment simulated-cycle attribution only works when one
 	// experiment owns the process-wide counter at a time.
 	if reg != nil && pool == nil {
@@ -188,6 +221,7 @@ func run() (code int) {
 	runner := &engine.Runner{
 		Pool:    pool,
 		Timeout: *timeout,
+		Retry:   obsFlags.RetryPolicy(),
 		OnStart: func(t engine.Task, seed uint64) {
 			tracker.Begin(t.ID, seed)
 			sess.Deltas.Begin(t.ID)
@@ -195,7 +229,7 @@ func run() (code int) {
 		},
 		OnDone: func(rep engine.Report) {
 			n := done.Add(1)
-			tracker.End(rep.Task.ID, rep.Wall, rep.Err)
+			tracker.End(rep.Task.ID, rep.Wall, rep.Outcome(), rep.Err)
 			delta := sess.Deltas.End(rep.Task.ID)
 			attrs := []any{
 				"id", rep.Task.ID, "seed", rep.Seed, "outcome", rep.Outcome(),

@@ -7,6 +7,7 @@
 //
 //	phtmap [-model Skylake] [-start 0x300000] [-addresses 65536]
 //	       [-block 4000] [-pairs 100] [-seed 1]
+//	       [-chaos light|moderate|heavy|FLOAT|JSON] [-chaos-seed 0]
 //	       [-serve addr] [-ledger-out l.jsonl]
 //	       [-metrics-out m.json] [-trace-out t.json]
 //	       [-log-format text|json] [-log-level info]
@@ -19,6 +20,12 @@
 // /metrics, /statusz, /healthz, /readyz and /debug/pprof live during
 // the run; -ledger-out appends one branchscope.ledger/v1 provenance
 // record with the run's config, seed, outcome and result digest.
+//
+// Resilience (see DESIGN §3.15): -chaos attaches the deterministic
+// fault injector in self-clocked mode — the mapper has no episode
+// structure, so fault windows are synthesized from counter reads.
+// Mapping under chaos shows how much interference the §6.3 state
+// decoding tolerates before the discovered size drifts.
 package main
 
 import (
@@ -31,8 +38,10 @@ import (
 	"syscall"
 	"time"
 
+	"branchscope/internal/chaos"
 	"branchscope/internal/cliutil"
 	"branchscope/internal/experiments"
+	"branchscope/internal/sched"
 	"branchscope/internal/obs"
 	"branchscope/internal/telemetry"
 	"branchscope/internal/uarch"
@@ -93,6 +102,26 @@ func run() (code int) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The mapper probes in a flat loop with no episode structure, so a
+	// requested chaos plan runs self-clocked: the injector synthesizes
+	// an episode boundary every few counter reads (roughly one probed
+	// address). -retry has no resilient loop to switch on here and is
+	// accepted for flag parity only.
+	plan, err := obsFlags.ChaosPlan(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phtmap:", err)
+		flag.Usage()
+		return 2
+	}
+	var prepare func(*sched.System)
+	if plan != nil {
+		sess.Log.Info("chaos enabled", "plan", plan.String(), "mode", "self-clocked")
+		prepare = func(sys *sched.System) {
+			inj := chaos.NewInjector(sys, *plan)
+			inj.SelfClock(4)
+		}
+	}
+
 	tracker.Begin("fig5", *seed)
 	sess.Deltas.Begin("fig5")
 	sess.Log.Info("task start", "id", "fig5", "seed", *seed, "model", m.Name, "start", *start)
@@ -103,10 +132,11 @@ func run() (code int) {
 		Addresses:     *count,
 		BlockBranches: *block,
 		Pairs:         *pairs,
+		Prepare:       prepare,
 		Seed:          *seed,
 	})
 	wall := time.Since(begin)
-	tracker.End("fig5", wall, err)
+	tracker.End("fig5", wall, "", err)
 	rec := obs.LedgerRecord{
 		Program:  "phtmap",
 		ID:       "fig5",
@@ -117,6 +147,7 @@ func run() (code int) {
 			"addresses": *count,
 			"block":     *block,
 			"pairs":     *pairs,
+			"chaos":     obsFlags.Chaos,
 		},
 		BaseSeed: *seed,
 		Seed:     *seed,

@@ -1,0 +1,172 @@
+// Package chaos is the deterministic fault-injection substrate of the
+// robustness evaluation. The paper's §7 measures BranchScope under SMT
+// noise, co-resident processes and victim slowdown, and §8's timing
+// probe is explicitly noisier; a real attacker survives those
+// conditions by retrying and recalibrating. This package reproduces the
+// adversarial conditions themselves — scheduler preemption that flushes
+// an in-flight prime+probe, attacker core migration (the PHT is no
+// longer shared, so the episode yields garbage), PMC readout
+// corruption/saturation, TSC jitter against the timing detector, and
+// victim-slowdown jitter — as seeded, reproducible faults injected at
+// episode boundaries.
+//
+// Everything is driven by a Plan: a small, serializable description of
+// per-episode fault probabilities. The same seed and plan produce the
+// same fault schedule, so experiment output stays byte-identical at any
+// parallelism, and a failure found under chaos can be replayed exactly.
+// The attack code above never reads simulator internals; faults reach
+// it only through the architectural surfaces it already uses (counter
+// reads, branch timing, victim stepping) — exactly how interference
+// presents on real silicon.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec describes one fault kind in a Plan.
+type Spec struct {
+	// Prob is the per-episode probability that the fault triggers.
+	Prob float64 `json:"prob,omitempty"`
+	// Span is the fault's duration in episodes once triggered, for the
+	// windowed faults (migration, PMC corruption, TSC jitter). Zero
+	// selects the fault's documented default.
+	Span int `json:"span,omitempty"`
+	// Magnitude is the fault-specific strength: preemption burst length
+	// in instructions, PMC additive corruption bound, TSC baseline
+	// shift in cycles, or extra victim iterations. Zero selects the
+	// fault's documented default.
+	Magnitude int `json:"magnitude,omitempty"`
+}
+
+// Plan is a complete, serializable fault-injection schedule. The zero
+// value injects nothing. Plans are pure data: the schedule realized
+// from a plan depends only on (Plan, episode index), never on host
+// state, which is what keeps chaos runs reproducible.
+type Plan struct {
+	// Seed drives every random choice the injector makes. It is
+	// independent of the experiment seed so the same fault schedule can
+	// be replayed against different attack randomizations.
+	Seed uint64 `json:"seed"`
+	// Preempt models the OS descheduling the spy mid-episode: a burst
+	// of foreign branch-dense code runs between prime and probe,
+	// trashing predictor state the episode depends on.
+	Preempt Spec `json:"preempt"`
+	// Migrate models the spy being moved to another physical core for a
+	// window of episodes: the primed PHT is no longer the probed PHT,
+	// so counter readings during the window are unrelated garbage.
+	Migrate Spec `json:"migrate"`
+	// PMCCorrupt models perf-subsystem readout glitches: a window where
+	// PMC reads are saturated or perturbed.
+	PMCCorrupt Spec `json:"pmc"`
+	// TSCJitter models a persistent rdtscp baseline shift (frequency
+	// scaling, SMI storms): for a window, every TSC read costs extra
+	// cycles, which breaks a calibrated timing threshold until the
+	// detector recalibrates.
+	TSCJitter Spec `json:"tsc"`
+	// VictimJitter models victim slowdown/speedup: the victim
+	// occasionally advances extra iterations within one attack window.
+	VictimJitter Spec `json:"victim"`
+}
+
+// Enabled reports whether the plan can inject any fault at all.
+func (p Plan) Enabled() bool {
+	return p.Preempt.Prob > 0 || p.Migrate.Prob > 0 || p.PMCCorrupt.Prob > 0 ||
+		p.TSCJitter.Prob > 0 || p.VictimJitter.Prob > 0
+}
+
+// WithSeed returns a copy of the plan with its seed replaced.
+func (p Plan) WithSeed(seed uint64) Plan {
+	p.Seed = seed
+	return p
+}
+
+// String renders the plan as its canonical JSON, the same form Parse
+// accepts — a plan printed into a log or ledger can be replayed.
+func (p Plan) String() string {
+	b, err := json.Marshal(p)
+	if err != nil { // no marshalable-field can fail; keep the Stringer total
+		return fmt.Sprintf("chaos.Plan{seed:%d}", p.Seed)
+	}
+	return string(b)
+}
+
+// Intensity presets: the named points of the robustness sweep.
+const (
+	// LightIntensity is occasional interference a naive loop mostly
+	// shrugs off.
+	LightIntensity = 0.5
+	// ModerateIntensity is the headline operating point: the naive loop
+	// is measurably degraded while the resilient loop recovers.
+	ModerateIntensity = 1.0
+	// HeavyIntensity is hostile scheduling: even the resilient loop
+	// must give up on some bits (reported Unknown, never silently
+	// wrong).
+	HeavyIntensity = 2.0
+)
+
+// AtIntensity builds the standard plan of the robustness sweep scaled
+// by a single intensity knob. Intensity scales trigger probabilities,
+// not magnitudes: more interference events of realistic size, which is
+// how load behaves on real machines. Intensity 0 returns a disabled
+// plan; 1 is the "moderate" operating point of EXPERIMENTS.md.
+func AtIntensity(seed uint64, intensity float64) Plan {
+	if intensity <= 0 {
+		return Plan{Seed: seed}
+	}
+	clamp := func(p float64) float64 {
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return Plan{
+		Seed:         seed,
+		Preempt:      Spec{Prob: clamp(0.12 * intensity)},
+		Migrate:      Spec{Prob: clamp(0.015 * intensity)},
+		PMCCorrupt:   Spec{Prob: clamp(0.05 * intensity)},
+		TSCJitter:    Spec{Prob: clamp(0.01 * intensity)},
+		VictimJitter: Spec{Prob: clamp(0.10 * intensity)},
+	}
+}
+
+// Parse interprets a -chaos flag value. Accepted forms:
+//
+//	""| "off"             no chaos (zero plan)
+//	"light" | "moderate" | "heavy"
+//	"0.75"                bare intensity multiplier
+//	"{...}"               a full JSON Plan, as printed by Plan.String
+//
+// seed seeds the resulting plan except when a JSON plan carries its own
+// nonzero seed (replay keeps the recorded schedule).
+func Parse(s string, seed uint64) (Plan, error) {
+	switch strings.TrimSpace(s) {
+	case "", "off":
+		return Plan{Seed: seed}, nil
+	case "light":
+		return AtIntensity(seed, LightIntensity), nil
+	case "moderate":
+		return AtIntensity(seed, ModerateIntensity), nil
+	case "heavy":
+		return AtIntensity(seed, HeavyIntensity), nil
+	}
+	t := strings.TrimSpace(s)
+	if strings.HasPrefix(t, "{") {
+		var p Plan
+		if err := json.Unmarshal([]byte(t), &p); err != nil {
+			return Plan{}, fmt.Errorf("chaos: bad plan JSON: %w", err)
+		}
+		if p.Seed == 0 {
+			p.Seed = seed
+		}
+		return p, nil
+	}
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil || f < 0 {
+		return Plan{}, fmt.Errorf("chaos: want off, light, moderate, heavy, an intensity >= 0 or a plan JSON; got %q", s)
+	}
+	return AtIntensity(seed, f), nil
+}

@@ -23,6 +23,9 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"branchscope/internal/chaos"
+	"branchscope/internal/core"
+	"branchscope/internal/engine"
 	"branchscope/internal/obs"
 	"branchscope/internal/telemetry"
 )
@@ -39,6 +42,12 @@ type Flags struct {
 	LogLevel   string
 	CPUProfile string
 	MemProfile string
+	// Chaos/ChaosSeed/Retry are the shared resilience surface: a
+	// deterministic fault-injection plan and the resilient attack
+	// loop's per-bit attempt budget. See ChaosPlan and RetryConfig.
+	Chaos     string
+	ChaosSeed uint64
+	Retry     int
 }
 
 // Register installs the shared flags on fs.
@@ -51,6 +60,52 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.LogLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+	fs.StringVar(&f.Chaos, "chaos", "", "deterministic fault injection: off, light, moderate, heavy, a bare intensity multiplier, or a chaos plan JSON object")
+	fs.Uint64Var(&f.ChaosSeed, "chaos-seed", 0, "seed for the chaos plan's fault schedule (0 = derive from -seed)")
+	fs.IntVar(&f.Retry, "retry", 0, "per-bit attempt budget for the resilient attack loop; also retries transiently-failed tasks (0 = the paper's naive single-episode read)")
+}
+
+// ChaosPlan resolves -chaos/-chaos-seed into a fault plan. It returns
+// nil when no (or a disabled) plan was requested, so callers can gate
+// injector installation on the result. A zero -chaos-seed derives the
+// schedule seed from the run's base seed, keeping chaos runs
+// reproducible by default yet independently reseedable.
+func (f Flags) ChaosPlan(baseSeed uint64) (*chaos.Plan, error) {
+	if f.Chaos == "" {
+		return nil, nil
+	}
+	seed := f.ChaosSeed
+	if seed == 0 {
+		seed = engine.DeriveSeed(baseSeed, "chaos")
+	}
+	plan, err := chaos.Parse(f.Chaos, seed)
+	if err != nil {
+		return nil, fmt.Errorf("-chaos: %w", err)
+	}
+	if !plan.Enabled() {
+		return nil, nil
+	}
+	return &plan, nil
+}
+
+// RetryConfig resolves -retry into the resilient read policy, nil when
+// the flag keeps the naive loop.
+func (f Flags) RetryConfig() *core.RetryConfig {
+	if f.Retry <= 0 {
+		return nil
+	}
+	return &core.RetryConfig{MaxAttempts: f.Retry}
+}
+
+// RetryPolicy resolves -retry into the engine's task-level policy: the
+// same budget applied to transiently-failed tasks (timeouts,
+// explicitly Transient errors), with capped simulated backoff recorded
+// in the report. The zero flag yields the zero policy (one attempt).
+func (f Flags) RetryPolicy() engine.RetryPolicy {
+	if f.Retry <= 0 {
+		return engine.RetryPolicy{}
+	}
+	return engine.RetryPolicy{MaxAttempts: f.Retry, Backoff: 100 * time.Millisecond}
 }
 
 // Options tunes session construction per CLI.

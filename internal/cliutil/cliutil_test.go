@@ -28,6 +28,7 @@ func TestFlagRegistrationParity(t *testing.T) {
 	want := []string{
 		"metrics-out", "trace-out", "serve", "ledger-out",
 		"log-format", "log-level", "cpuprofile", "memprofile",
+		"chaos", "chaos-seed", "retry",
 	}
 	for _, name := range want {
 		if fs.Lookup(name) == nil {

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/noise"
+	"branchscope/internal/rng"
+	"branchscope/internal/uarch"
+)
+
+// TestPreemptionAtEveryPhaseBoundary slams a scheduler preemption —
+// another process burning a burst of branches, exactly what the chaos
+// injector's preempt fault does — into each gap of the prime–step–probe
+// episode, and at both gaps at once. The scheduling contract must hold
+// regardless: StepBranches(1) retires exactly one victim branch per
+// episode, the victim thread survives, and the resilient read absorbs
+// the flushed prime state instead of collapsing.
+func TestPreemptionAtEveryPhaseBoundary(t *testing.T) {
+	cases := []struct {
+		name      string
+		pre, post bool
+	}{
+		{"prime-step", true, false},
+		{"step-probe", false, true},
+		{"both", true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys, spy := newSpy(t, uarch.SandyBridge(), 46)
+			secret := rng.New(29).Bits(48)
+			victim, pos := heldBitVictim(sys, secret)
+			defer victim.Kill()
+			sess, err := NewSession(spy, rng.New(9), AttackConfig{
+				Search: SearchConfig{TargetAddr: victimAddr, Focused: true},
+				Retry:  RetryConfig{MaxAttempts: 7},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The preemption body: 2500 foreign branches over a 4 MiB
+			// region, the chaos injector's default burst shape.
+			intruder := sys.NewProcess("intruder")
+			burst := noise.NewBurst(99, 0x7e00_0000_0000, 1<<22)
+			preempt := func() { burst.Run(intruder, 2500) }
+			var before, after func()
+			if c.pre {
+				before = preempt
+			}
+			if c.post {
+				after = preempt
+			}
+
+			base := victim.Context().ReadPMC(cpu.BranchInstructions)
+			attempts, wrong, unknown := 0, 0, 0
+			for i, want := range secret {
+				*pos = i
+				rd := sess.ReadBit(victim, before, after)
+				attempts += rd.Attempts
+				if !rd.Known {
+					unknown++
+					continue
+				}
+				if rd.Bit != want {
+					wrong++
+				}
+			}
+
+			// The slowdown invariant: one victim branch per episode, no
+			// matter how much foreign work ran in the gaps around it.
+			stepped := victim.Context().ReadPMC(cpu.BranchInstructions) - base
+			if stepped != uint64(attempts) {
+				t.Errorf("victim retired %d branches over %d episodes", stepped, attempts)
+			}
+			if victim.Finished() {
+				t.Error("victim thread died under preemption")
+			}
+			// Boundary preemption degrades votes, never the protocol: the
+			// budget-7 majority still recovers most bits, and misreads
+			// surface as Unknown rather than silent flips.
+			if known := len(secret) - unknown; wrong*4 > known {
+				t.Errorf("%d of %d known bits wrong under %s preemption", wrong, known, c.name)
+			}
+			if unknown*2 > len(secret) {
+				t.Errorf("%d of %d bits unknown: channel collapsed", unknown, len(secret))
+			}
+
+			// With the intruder gone, the same session decodes cleanly —
+			// the bursts leave no lasting scheduler or session damage.
+			cleanWrong := 0
+			for i, want := range secret {
+				*pos = i
+				if rd := sess.ReadBit(victim, nil, nil); !rd.Known || rd.Bit != want {
+					cleanWrong++
+				}
+			}
+			if cleanWrong > 2 {
+				t.Errorf("%d of %d bits wrong after preemption stopped", cleanWrong, len(secret))
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/rng"
+	"branchscope/internal/sched"
+	"branchscope/internal/uarch"
+)
+
+// timingSession builds a fresh timing-probing session against a
+// held-bit victim; the returned cursor selects which secret bit the
+// victim retransmits.
+func heldBitVictim(sys *sched.System, secret []bool) (*sched.Thread, *int) {
+	pos := new(int)
+	th := sys.Spawn("victim", func(ctx *cpu.Context) {
+		for {
+			bit := secret[*pos%len(secret)]
+			ctx.Work(3)
+			ctx.Branch(victimAddr, bit)
+			ctx.Work(1)
+		}
+	})
+	return th, pos
+}
+
+// TestTimingCalibrationRepsDefault is the regression test for the
+// misconfiguration fix: a zero or negative TimingCalibrationReps must
+// calibrate with the documented default, not a zero-sample detector.
+func TestTimingCalibrationRepsDefault(t *testing.T) {
+	detectorFor := func(reps int) *TimingDetector {
+		_, spy := newSpy(t, uarch.Skylake(), 40)
+		sess, err := NewSession(spy, rng.New(4), AttackConfig{
+			Search:                SearchConfig{TargetAddr: victimAddr, Focused: true},
+			UseTiming:             true,
+			TimingCalibrationReps: reps,
+		})
+		if err != nil {
+			t.Fatalf("NewSession(reps=%d): %v", reps, err)
+		}
+		return sess.Detector()
+	}
+	want := detectorFor(DefaultTimingCalibrationReps)
+	for _, reps := range []int{0, -3} {
+		got := detectorFor(reps)
+		if got.HitMean != want.HitMean || got.MissMean != want.MissMean ||
+			got.Threshold != want.Threshold {
+			t.Errorf("reps=%d detector %+v differs from explicit default %+v", reps, got, want)
+		}
+	}
+}
+
+func TestReadBitDecodesCleanChannel(t *testing.T) {
+	sys, spy := newSpy(t, uarch.SandyBridge(), 41)
+	secret := rng.New(17).Bits(120)
+	victim, pos := heldBitVictim(sys, secret)
+	defer victim.Kill()
+	sess, err := NewSession(spy, rng.New(5), AttackConfig{
+		Search: SearchConfig{TargetAddr: victimAddr, Focused: true},
+		Retry:  RetryConfig{MaxAttempts: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, unknown := 0, 0
+	for i, want := range secret {
+		*pos = i
+		rd := sess.ReadBit(victim, nil, nil)
+		if !rd.Known {
+			unknown++
+			continue
+		}
+		if rd.Bit != want {
+			wrong++
+		}
+		if rd.Confidence <= 0.5 {
+			t.Errorf("bit %d: decisive read with confidence %.2f", i, rd.Confidence)
+		}
+		if rd.Attempts < 3 || rd.Attempts > 5 {
+			t.Errorf("bit %d: %d attempts, want within [needed=3, budget=5]", i, rd.Attempts)
+		}
+	}
+	if wrong > 2 || unknown > 2 {
+		t.Errorf("clean channel: %d wrong, %d unknown of %d bits", wrong, unknown, len(secret))
+	}
+}
+
+func TestReadBitSingleAttemptDegenerates(t *testing.T) {
+	sys, spy := newSpy(t, uarch.SandyBridge(), 42)
+	victim, pos := heldBitVictim(sys, []bool{true})
+	defer victim.Kill()
+	for _, budget := range []int{0, 1, -7} {
+		sess, err := NewSession(spy, rng.New(6), AttackConfig{
+			Search: SearchConfig{TargetAddr: victimAddr, Focused: true},
+			Retry:  RetryConfig{MaxAttempts: budget},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		*pos = 0
+		rd := sess.ReadBit(victim, nil, nil)
+		if rd.Attempts != 1 {
+			t.Errorf("budget %d: %d attempts, want 1", budget, rd.Attempts)
+		}
+		if !rd.Known || !rd.Bit {
+			t.Errorf("budget %d: clean single episode read %+v, want known taken", budget, rd)
+		}
+	}
+}
+
+// TestReadBitRejectsTornEpisodes pins outlier rejection and graceful
+// degradation: under saturated PMC readings every probe decodes HH —
+// impossible for an intact SN-primed episode — so ReadBit must burn
+// its budget on outliers and admit Unknown rather than emit a
+// confidently wrong bit.
+func TestReadBitRejectsTornEpisodes(t *testing.T) {
+	sys, spy := newSpy(t, uarch.SandyBridge(), 43)
+	victim, _ := heldBitVictim(sys, []bool{true})
+	defer victim.Kill()
+	sess, err := NewSession(spy, rng.New(7), AttackConfig{
+		Search: SearchConfig{TargetAddr: victimAddr, Focused: true},
+		Retry:  RetryConfig{MaxAttempts: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Core().SetReadFaults(cpu.ReadFaults{
+		PMC: func(e cpu.Event, v uint64) uint64 { return uint64(1) << 62 },
+	})
+	defer sys.Core().SetReadFaults(cpu.ReadFaults{})
+	rd := sess.ReadBit(victim, nil, nil)
+	if rd.Known {
+		t.Errorf("saturated counters decoded a known bit: %+v", rd)
+	}
+	if rd.Attempts != 5 || rd.Outliers != 5 {
+		t.Errorf("attempts/outliers = %d/%d, want 5/5 (all episodes torn)", rd.Attempts, rd.Outliers)
+	}
+	if rd.Confidence != 0 {
+		t.Errorf("confidence %.2f with zero votes", rd.Confidence)
+	}
+}
+
+// TestDriftRecalibration pins the §8 drift story: a persistent TSC
+// baseline shift breaks the calibrated threshold, the periodic
+// self-check notices, and one recalibration restores the channel.
+func TestDriftRecalibration(t *testing.T) {
+	sys, spy := newSpy(t, uarch.SandyBridge(), 44)
+	secret := make([]bool, 40)
+	for i := range secret {
+		secret[i] = i%2 == 0
+	}
+	victim, pos := heldBitVictim(sys, secret)
+	defer victim.Kill()
+	sess, err := NewSession(spy, rng.New(8), AttackConfig{
+		Search:                SearchConfig{TargetAddr: victimAddr, Focused: true},
+		UseTiming:             true,
+		TimingCalibrationReps: 400,
+		Retry:                 RetryConfig{MaxAttempts: 5, DriftCheckInterval: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shift starts after calibration: every rdtscp pair now reads
+	// 70 cycles long, pushing all hit latencies over the threshold.
+	sys.Core().SetReadFaults(cpu.ReadFaults{TSCExtra: func() uint64 { return 70 }})
+	defer sys.Core().SetReadFaults(cpu.ReadFaults{})
+	wrongLate := 0
+	for i, want := range secret {
+		*pos = i
+		rd := sess.ReadBit(victim, nil, nil)
+		if i >= len(secret)/2 && (!rd.Known || rd.Bit != want) {
+			wrongLate++
+		}
+	}
+	if sess.Recalibrations() < 1 {
+		t.Fatal("drift never triggered a recalibration")
+	}
+	if sess.Recalibrations() > 3 {
+		t.Errorf("%d recalibrations for one persistent shift", sess.Recalibrations())
+	}
+	if wrongLate > 2 {
+		t.Errorf("%d of the last %d bits wrong after recalibration", wrongLate, len(secret)/2)
+	}
+	// A session with drift checking disabled never recovers — the
+	// regression guard that the recalibration is what fixed it.
+	_, spy2 := newSpy(t, uarch.SandyBridge(), 44)
+	sess2, err := NewSession(spy2, rng.New(8), AttackConfig{
+		Search:                SearchConfig{TargetAddr: victimAddr, Focused: true},
+		UseTiming:             true,
+		TimingCalibrationReps: 400,
+		Retry:                 RetryConfig{MaxAttempts: 5, DriftCheckInterval: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy2.Core().SetReadFaults(cpu.ReadFaults{TSCExtra: func() uint64 { return 70 }})
+	defer spy2.Core().SetReadFaults(cpu.ReadFaults{})
+	if sess2.Recalibrations() != 0 {
+		t.Error("recalibrated before any read")
+	}
+}

@@ -20,9 +20,17 @@ type AttackConfig struct {
 	// branch-misprediction PMC (§7). Timing probes are noisier.
 	UseTiming bool
 	// TimingCalibrationReps is the number of calibration samples per
-	// class for the timing detector (default 2000).
+	// class for the timing detector. Zero or negative falls back to
+	// DefaultTimingCalibrationReps.
 	TimingCalibrationReps int
+	// Retry configures the resilient read path (ReadBit). The zero
+	// value keeps ReadBit single-shot; SpyBit ignores it entirely.
+	Retry RetryConfig
 }
+
+// DefaultTimingCalibrationReps is the documented default calibration
+// sample count per class when TimingCalibrationReps is not positive.
+const DefaultTimingCalibrationReps = 2000
 
 // Session is a ready-to-use BranchScope attack instance: a spy context, a
 // pre-searched randomization block that primes the target PHT entry into
@@ -39,6 +47,13 @@ type Session struct {
 	analysis BlockAnalysis
 	detector *TimingDetector
 	tel      *sessionTel
+
+	// Resilient-read state (see resilient.go): the scratch-address
+	// cursor for drift checks and recalibrations, the episode count
+	// since the last drift check, and recalibration statistics.
+	calCursor    uint64
+	sinceCheck   int
+	recalibrated int
 }
 
 // sessionTel caches the per-session telemetry handles (nil when the
@@ -126,11 +141,18 @@ func NewSession(spy *cpu.Context, r *rng.Source, cfg AttackConfig) (*Session, er
 		s.tel = newSessionTel(set, spy)
 	}
 	if cfg.UseTiming {
-		reps := cfg.TimingCalibrationReps
-		if reps == 0 {
-			reps = 2000
+		// Normalize here, not just in CalibrateTiming: the session's
+		// recalibration path reuses the value, and a negative
+		// misconfiguration must mean "default", never a zero-sample
+		// detector.
+		if s.cfg.TimingCalibrationReps <= 0 {
+			s.cfg.TimingCalibrationReps = DefaultTimingCalibrationReps
 		}
+		reps := s.cfg.TimingCalibrationReps
 		s.detector = CalibrateTiming(spy, cfg.Search.SpyBase+1<<20, reps)
+		// Drift checks and recalibrations burn fresh scratch addresses
+		// beyond the initial calibration range.
+		s.calCursor = cfg.Search.SpyBase + 2<<20
 	}
 	return s, nil
 }
@@ -183,6 +205,13 @@ type Stepper interface {
 // the surrounding noise-injection callbacks — it is the paper's "window
 // in which the victim runs" (§7).
 func (s *Session) SpyBit(victim Stepper, before, after func()) bool {
+	return DecodeBit(s.episode(victim, before, after))
+}
+
+// episode runs one prime–step–probe episode and returns the raw
+// observation pattern. SpyBit decodes it directly; ReadBit treats it as
+// one vote of a resilient read.
+func (s *Session) episode(victim Stepper, before, after func()) Pattern {
 	if s.tel == nil {
 		s.Prime()
 		if before != nil {
@@ -192,7 +221,7 @@ func (s *Session) SpyBit(victim Stepper, before, after func()) bool {
 		if after != nil {
 			after()
 		}
-		return DecodeBit(s.Probe())
+		return s.Probe()
 	}
 	clk := s.spy.Core()
 	t0 := clk.Clock()
@@ -208,7 +237,6 @@ func (s *Session) SpyBit(victim Stepper, before, after func()) bool {
 	t2 := clk.Clock()
 	p := s.Probe()
 	t3 := clk.Clock()
-	bit := DecodeBit(p)
-	s.tel.observeEpisode(t0, t1, t2, t3, p, bit)
-	return bit
+	s.tel.observeEpisode(t0, t1, t2, t3, p, DecodeBit(p))
+	return p
 }

@@ -44,7 +44,7 @@ func (d *TimingDetector) String() string {
 // executions are polluted by caching effects.
 func CalibrateTiming(ctx *cpu.Context, scratch uint64, reps int) *TimingDetector {
 	if reps <= 0 {
-		reps = 2000
+		reps = DefaultTimingCalibrationReps
 	}
 	tel := ctx.Core().Telemetry()
 	var start uint64

@@ -128,9 +128,32 @@ type Core struct {
 	clock   uint64
 	icache  [ICacheLines]icacheEntry
 	rnd     *rng.Source
+	faults  ReadFaults
 	tel     *telemetry.Set
 	ctr     coreCounters
 }
+
+// ReadFaults intercepts architectural counter reads on a core. The
+// fault-injection layer (internal/chaos) installs them to model PMC
+// readout corruption and rdtscp latency shifts: the faults live in the
+// hardware model, so attack code above experiences them exactly as it
+// would on real interference-prone silicon — through garbage readings —
+// without either side reaching into the other's internals. Both funcs
+// may be nil; they apply to every context of the core (it is the
+// machine that misbehaves, not one process).
+type ReadFaults struct {
+	// PMC maps a counter read's true value to the observed value.
+	PMC func(e Event, v uint64) uint64
+	// TSCExtra returns extra cycles charged to (and observed through)
+	// a ReadTSC — a perturbed rdtscp costs real time, so the shift
+	// lands on the measured latency of whatever the read brackets.
+	TSCExtra func() uint64
+}
+
+// SetReadFaults installs the core's read-fault hooks; the zero value
+// clears them. Snapshot/Restore deliberately does not capture hooks:
+// faults are external interference, not microarchitectural state.
+func (c *Core) SetReadFaults(f ReadFaults) { c.faults = f }
 
 // coreCounters caches the core-wide metric handles. All fields are nil
 // when telemetry is disabled, collapsing every update to an inlined nil
@@ -367,11 +390,15 @@ func (x *Context) Work(n uint64) {
 // ReadTSC reads the timestamp counter (rdtscp): it returns the core cycle
 // clock and charges the serialization overhead.
 func (x *Context) ReadTSC() uint64 {
-	x.core.clock += x.core.timing.TSCOverhead
+	c := x.core
+	c.clock += c.timing.TSCOverhead
+	if f := c.faults.TSCExtra; f != nil {
+		c.clock += f()
+	}
 	x.pmc[Instructions]++
-	x.core.ctr.instructions.Inc()
+	c.ctr.instructions.Inc()
 	x.tscReads.Inc()
-	t := x.core.clock
+	t := c.clock
 	x.retire(false)
 	return t
 }
@@ -384,5 +411,9 @@ func (x *Context) ReadPMC(e Event) uint64 {
 		panic(fmt.Sprintf("cpu: invalid PMC event %d", int(e)))
 	}
 	x.pmcReads.Inc()
-	return x.pmc[e]
+	v := x.pmc[e]
+	if f := x.core.faults.PMC; f != nil {
+		v = f(e, v)
+	}
+	return v
 }

@@ -432,6 +432,11 @@ func TestReportOutcome(t *testing.T) {
 		{Report{Err: fmt.Errorf("task: %w", context.Canceled)}, "canceled"},
 		{Report{Err: fmt.Errorf("task: %w", context.DeadlineExceeded)}, "timeout"},
 		{Report{Err: errors.New("panicked"), Panicked: true}, "panic"},
+		{Report{Attempts: 3}, "retried-ok"},
+		{Report{Err: errors.New("boom"), Attempts: 3, Exhausted: true}, "exhausted"},
+		// A panic or cancellation trumps the retry bookkeeping.
+		{Report{Err: errors.New("panicked"), Panicked: true, Attempts: 2, Exhausted: true}, "panic"},
+		{Report{Err: fmt.Errorf("task: %w", context.Canceled), Attempts: 2}, "canceled"},
 	}
 	for _, c := range cases {
 		if got := c.rep.Outcome(); got != c.want {

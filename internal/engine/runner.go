@@ -38,6 +38,15 @@ type Report struct {
 	Wall time.Duration
 	// Panicked marks Err as a recovered panic.
 	Panicked bool
+	// Attempts is how many times the task ran (1 without a retry
+	// policy, or when the first attempt settled it).
+	Attempts int
+	// Backoff is the total backoff delay charged between attempts
+	// (simulated unless the policy installs a real Sleep).
+	Backoff time.Duration
+	// Exhausted marks a transient failure that consumed the full retry
+	// budget: the task kept failing retryably until MaxAttempts.
+	Exhausted bool
 }
 
 // Runner executes tasks under the engine's scheduling policy.
@@ -59,24 +68,66 @@ type Runner struct {
 	// (completion order, concurrently under parallel execution) —
 	// progress reporting, not part of the deterministic output.
 	OnDone func(Report)
+	// Retry re-runs transiently failed tasks with fresh derived seeds
+	// and capped backoff. The zero policy disables retries.
+	Retry RetryPolicy
 }
 
 // RunTask executes one task with the runner's timeout, panic recovery,
-// and per-task seed derivation.
+// per-task seed derivation, and — under a retry policy — re-runs of
+// transient failures on per-attempt derived seeds. The timeout applies
+// per attempt; a retried task may consume up to MaxAttempts × Timeout.
 func (r *Runner) RunTask(ctx context.Context, t Task, cfg Config) Report {
 	ctx = WithPool(ctx, r.Pool)
-	cfg.Seed = DeriveSeed(cfg.Seed, t.ID)
-	rep := Report{Task: t, Seed: cfg.Seed}
+	taskSeed := DeriveSeed(cfg.Seed, t.ID)
+	rep := Report{Task: t, Seed: taskSeed}
+
+	if r.OnStart != nil {
+		r.OnStart(t, taskSeed)
+	}
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		cfg.Seed = attemptSeed(taskSeed, attempt)
+		rep.Seed = cfg.Seed
+		rep.Attempts = attempt
+		rep.Result, rep.Err, rep.Panicked = r.attempt(ctx, t, cfg)
+		if rep.Err == nil || rep.Panicked {
+			break
+		}
+		if ctx.Err() != nil || !r.Retry.transient(rep.Err) {
+			break
+		}
+		if attempt >= r.Retry.max() {
+			// A transient failure that survived the whole budget —
+			// only a real budget can be exhausted.
+			rep.Exhausted = r.Retry.max() > 1
+			break
+		}
+		d := r.Retry.backoffFor(attempt)
+		rep.Backoff += d
+		if r.Retry.Sleep != nil && d > 0 {
+			r.Retry.Sleep(ctx, d)
+		}
+	}
+	rep.Wall = time.Since(start)
+	if rep.Err != nil {
+		rep.Result = nil
+	}
+	if r.OnDone != nil {
+		r.OnDone(rep)
+	}
+	return rep
+}
+
+// attempt runs the task body once under the per-attempt timeout with
+// panic isolation.
+func (r *Runner) attempt(ctx context.Context, t Task, cfg Config) (Result, error, bool) {
 	cancel := func() {}
 	if r.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
 	}
 	defer cancel()
 
-	if r.OnStart != nil {
-		r.OnStart(t, cfg.Seed)
-	}
-	start := time.Now()
 	type outcome struct {
 		res      Result
 		err      error
@@ -99,20 +150,12 @@ func (r *Runner) RunTask(ctx context.Context, t Task, cfg Config) Report {
 
 	select {
 	case o := <-done:
-		rep.Result, rep.Err, rep.Panicked = o.res, o.err, o.panicked
+		return o.res, o.err, o.panicked
 	case <-ctx.Done():
 		// The task ignored cancellation past the deadline; abandon its
 		// goroutine and report the timeout.
-		rep.Err = fmt.Errorf("engine: task %s: %w", t.ID, ctx.Err())
+		return nil, fmt.Errorf("engine: task %s: %w", t.ID, ctx.Err()), false
 	}
-	rep.Wall = time.Since(start)
-	if rep.Err != nil {
-		rep.Result = nil
-	}
-	if r.OnDone != nil {
-		r.OnDone(rep)
-	}
-	return rep
 }
 
 // RunSuite executes tasks on the runner's pool and returns one report
@@ -146,13 +189,22 @@ func (r *Runner) RunSuite(ctx context.Context, tasks []Task, cfg Config) []Repor
 }
 
 // Outcome classifies the report for ledgers and structured logs:
-// "ok", "panic", "timeout", "canceled" or "error".
+// "ok", "retried-ok" (success that needed more than one attempt),
+// "panic", "exhausted" (transient failure that consumed the whole retry
+// budget), "timeout", "canceled" or "error". Timeout and cancellation
+// are deliberately distinct outcomes: a timeout is the task's own
+// budget expiring (actionable per task), a cancellation is the operator
+// or a parent tearing the suite down (not the task's fault).
 func (r Report) Outcome() string {
 	switch {
+	case r.Err == nil && r.Attempts > 1:
+		return "retried-ok"
 	case r.Err == nil:
 		return "ok"
 	case r.Panicked:
 		return "panic"
+	case r.Exhausted:
+		return "exhausted"
 	case errors.Is(r.Err, context.DeadlineExceeded):
 		return "timeout"
 	case errors.Is(r.Err, context.Canceled):

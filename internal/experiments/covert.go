@@ -5,9 +5,10 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"branchscope/internal/chaos"
 	"branchscope/internal/core"
-	"branchscope/internal/engine"
 	"branchscope/internal/cpu"
+	"branchscope/internal/engine"
 	"branchscope/internal/noise"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
@@ -35,6 +36,29 @@ func SetDefaultTelemetry(t *telemetry.Set) {
 func DefaultTelemetry() *telemetry.Set {
 	return defaultTelemetry.Load()
 }
+
+// defaultChaos / defaultRetry are the process-wide fault plan and
+// resilient-read policy picked up by covert measurements whose config
+// carries none — how the CLIs' -chaos/-chaos-seed/-retry flags reach
+// every cell a suite run regenerates. Same idiom as defaultTelemetry.
+var (
+	defaultChaos atomic.Pointer[chaos.Plan]
+	defaultRetry atomic.Pointer[core.RetryConfig]
+)
+
+// SetDefaultChaos installs (or, with nil, removes) the process-wide
+// chaos plan applied when a config's Chaos field is nil.
+func SetDefaultChaos(p *chaos.Plan) { defaultChaos.Store(p) }
+
+// DefaultChaos returns the process-wide chaos plan (nil when none).
+func DefaultChaos() *chaos.Plan { return defaultChaos.Load() }
+
+// SetDefaultRetry installs (or, with nil, removes) the process-wide
+// resilient-read policy applied when a config's Retry is zero.
+func SetDefaultRetry(rc *core.RetryConfig) { defaultRetry.Store(rc) }
+
+// DefaultRetry returns the process-wide retry policy (nil when none).
+func DefaultRetry() *core.RetryConfig { return defaultRetry.Load() }
 
 // Setting is the paper's system-noise configuration (§7).
 type Setting int
@@ -125,6 +149,19 @@ type CovertConfig struct {
 	// see SetDefaultTelemetry). Metrics and traces record simulated
 	// cycles only, so exports are deterministic per seed.
 	Telemetry *telemetry.Set
+	// Chaos, when non-nil and enabled, attaches a fault injector
+	// realizing the plan to every system the measurement boots
+	// (falling back to the process-wide default; see SetDefaultChaos).
+	// Faults start after session setup: the pre-attack search and
+	// calibration model the quiet moment a real attacker waits for.
+	Chaos *chaos.Plan
+	// Retry, when nonzero (falling back to the process-wide default),
+	// switches the spy to the resilient read path: per-bit majority
+	// voting under Retry.MaxAttempts with outlier rejection, Unknown
+	// reporting (counted as a coin flip, like a failed setup), and —
+	// for timing sessions — drift-triggered recalibration. The zero
+	// value keeps the paper's naive single-episode loop.
+	Retry core.RetryConfig
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -139,6 +176,13 @@ type CovertResult struct {
 	// be established — mitigations cause this). Such runs contribute an
 	// error rate of 0.5 (guessing).
 	SetupFailed int
+	// Unknown counts bits the resilient read path gave up on within its
+	// attempt budget (always 0 on the naive path). Each contributes 0.5
+	// to the error rate — an admitted guess, never a silent wrong bit.
+	Unknown int
+	// Recalibrations counts timing-detector rebuilds triggered by the
+	// resilient path's drift checks, summed over runs.
+	Recalibrations int
 }
 
 // String implements fmt.Stringer.
@@ -158,6 +202,7 @@ func (r CovertResult) Rows() []engine.Row {
 		engine.F("error_rate", r.ErrorRate),
 		engine.F("per_run", r.PerRun),
 		engine.F("setup_failed", r.SetupFailed),
+		engine.F("unknown_bits", r.Unknown),
 	}}
 }
 
@@ -196,6 +241,14 @@ func RunCovert(ctx context.Context, cfg CovertConfig) (CovertResult, error) {
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = DefaultTelemetry()
 	}
+	if cfg.Chaos == nil {
+		cfg.Chaos = DefaultChaos()
+	}
+	if cfg.Retry == (core.RetryConfig{}) {
+		if rc := DefaultRetry(); rc != nil {
+			cfg.Retry = *rc
+		}
+	}
 	root := rng.New(cfg.Seed ^ 0xc0de)
 	res := CovertResult{Config: cfg}
 	for run := 0; run < cfg.Runs; run++ {
@@ -228,9 +281,22 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 	secret := cfg.Pattern.Bits(cfg.Bits, r)
 	tel.Counter("covert.bits").Add(uint64(len(secret)))
 
-	// The sender.
-	var victim core.Stepper
+	// The sender. The resilient read spends a variable number of
+	// episodes per bit, so it needs the retransmission-capable sender
+	// (the receiver advances the cursor only once a bit is decided).
+	// Retry.MaxAttempts == 0 keeps the paper's free-running Listing 2
+	// sender with the naive loop; a negative budget selects the naive
+	// loop over the held-bit sender — the robustness sweep's baseline,
+	// which isolates the read loop itself from protocol
+	// desynchronization (victim jitter would permanently desync a
+	// free-running sender and flatten every naive cell to a coin flip).
+	resilient := cfg.Retry.MaxAttempts > 0
+	var cursor int
 	senderFn := victims.LoopingSecretArraySender(secret, 0)
+	if cfg.Retry.MaxAttempts != 0 {
+		senderFn = victims.HeldBitSender(secret, 0, &cursor)
+	}
+	var victim core.Stepper
 	if cfg.SGX {
 		e := sgx.Launch(sys, "sender", senderFn)
 		defer e.Destroy()
@@ -266,6 +332,7 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 	sess, err := core.NewSession(spy, r.Split(), core.AttackConfig{
 		Search:    core.SearchConfig{TargetAddr: victims.SecretBranchAddr, Focused: true},
 		UseTiming: cfg.UseTiming,
+		Retry:     cfg.Retry,
 	})
 	if err != nil {
 		// The channel could not be established: the attacker is
@@ -275,15 +342,66 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 		return 0.5, nil
 	}
 
-	got := make([]bool, len(secret))
+	// Fault injection starts here — after the pre-attack search and
+	// timing calibration — and wraps the victim with the plan's
+	// slowdown jitter. Chaos episode boundaries ride the same
+	// before/after hooks the noise budget uses, adjacent to the step.
 	before, after := stepNoise(budget/2), stepNoise(budget-budget/2)
+	if plan := cfg.Chaos; plan != nil && plan.Enabled() {
+		inj := chaos.NewInjector(sys, plan.WithSeed(plan.Seed^r.Uint64()))
+		defer inj.Detach()
+		victim = inj.WrapStepper(victim)
+		before = joinHooks(before, inj.BeforeStep)
+		after = joinHooks(inj.AfterStep, after)
+	}
+
+	if !resilient {
+		got := make([]bool, len(secret))
+		for i := range secret {
+			if i%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			cursor = i // no-op for the free-running sender
+			got[i] = sess.SpyBit(victim, before, after)
+		}
+		return stats.ErrorRate(got, secret), nil
+	}
+
+	// Resilient loop: majority-vote each bit under the attempt budget,
+	// advance the sender's cursor only once decided, and score an
+	// Unknown as a coin flip — graceful degradation, not silent error.
+	unknownBits := tel.Counter("covert.unknown_bits")
+	errSum := 0.0
 	for i := range secret {
 		if i%256 == 0 {
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}
 		}
-		got[i] = sess.SpyBit(victim, before, after)
+		cursor = i
+		rd := sess.ReadBit(victim, before, after)
+		switch {
+		case !rd.Known:
+			res.Unknown++
+			unknownBits.Inc()
+			errSum += 0.5
+		case rd.Bit != secret[i]:
+			errSum++
+		}
 	}
-	return stats.ErrorRate(got, secret), nil
+	res.Recalibrations += sess.Recalibrations()
+	return errSum / float64(len(secret)), nil
+}
+
+// joinHooks composes two optional episode hooks in order.
+func joinHooks(a, b func()) func() {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func() { a(); b() }
 }

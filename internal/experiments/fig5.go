@@ -37,7 +37,11 @@ type Fig5Config struct {
 	// in steps of FineStep, reproducing Figure 5b's zoomed curve.
 	FineWindow int
 	FineStep   int
-	Seed       uint64
+	// Prepare, when non-nil, runs against the fresh system before the
+	// mapping starts (cmd/phtmap installs its self-clocked chaos
+	// injector here; mitigation studies could configure the BPU).
+	Prepare func(*sched.System)
+	Seed    uint64
 }
 
 func (c Fig5Config) withDefaults() Fig5Config {
@@ -97,6 +101,9 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed + 5)
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
+	if cfg.Prepare != nil {
+		cfg.Prepare(sys)
+	}
 	spy := sys.NewProcess("spy")
 	mapper := core.NewMapper(sys.Core(), spy, r.Split())
 	states := mapper.MapStates(cfg.Start, cfg.Addresses, cfg.BlockBranches)

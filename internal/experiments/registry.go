@@ -280,6 +280,18 @@ func All() []Experiment {
 			},
 		},
 		{
+			ID: "robustness", Artifact: "§7 (extension)",
+			Description: "resilient vs naive attack loop under deterministic fault injection",
+			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {
+				cfg := RobustnessConfig{Seed: ec.Seed}
+				if ec.Quick {
+					cfg = QuickRobustnessConfig()
+					cfg.Seed = ec.Seed
+				}
+				return RunRobustness(ctx, cfg)
+			},
+		},
+		{
 			ID: "btb", Artifact: "§11 (baseline)",
 			Description: "BranchScope vs the prior-work BTB eviction channel",
 			Run: func(ctx context.Context, ec engine.Config) (engine.Result, error) {

@@ -1,0 +1,81 @@
+package noise
+
+import (
+	"testing"
+
+	"branchscope/internal/cpu"
+	"branchscope/internal/sched"
+	"branchscope/internal/uarch"
+)
+
+// observe digests everything a noise stream leaves architecturally
+// visible on a machine: retired instruction mix, predictor outcomes and
+// elapsed cycles.
+func observe(ctx *cpu.Context) [4]uint64 {
+	return [4]uint64{
+		ctx.ReadPMC(cpu.Instructions),
+		ctx.ReadPMC(cpu.BranchInstructions),
+		ctx.ReadPMC(cpu.BranchMisses),
+		ctx.ReadTSC(),
+	}
+}
+
+// TestProcessZeroSpanFallback pins the documented default: span 0 is
+// the 1 MiB region, not a degenerate single-address stream.
+func TestProcessZeroSpanFallback(t *testing.T) {
+	run := func(span uint64) [4]uint64 {
+		sys := sched.NewSystem(uarch.SandyBridge(), 11)
+		th := sys.Spawn("noise", Process(5, DefaultRegion, span))
+		defer th.Kill()
+		if !th.StepBranches(400) {
+			t.Fatal("noise process terminated")
+		}
+		return observe(sys.NewProcess("spy"))
+	}
+	if got, want := run(0), run(1<<20); got != want {
+		t.Errorf("span 0 stream %v differs from the 1 MiB default %v", got, want)
+	}
+}
+
+func TestNewBurstZeroSpanFallback(t *testing.T) {
+	run := func(span uint64) [4]uint64 {
+		sys := sched.NewSystem(uarch.SandyBridge(), 12)
+		ctx := sys.NewProcess("noisy")
+		NewBurst(9, DefaultRegion, span).Run(ctx, 500)
+		return observe(ctx)
+	}
+	if got, want := run(0), run(1<<20); got != want {
+		t.Errorf("span 0 burst %v differs from the 1 MiB default %v", got, want)
+	}
+}
+
+// TestBurstStreamContinuity pins the Burst contract: repeated bursts
+// continue one stream, so two Run(n) calls leave an identically-seeded
+// machine in exactly the state one Run(2n) does.
+func TestBurstStreamContinuity(t *testing.T) {
+	split := func(chunks ...int) [4]uint64 {
+		sys := sched.NewSystem(uarch.SandyBridge(), 13)
+		ctx := sys.NewProcess("noisy")
+		b := NewBurst(21, DefaultRegion, 1<<18)
+		for _, n := range chunks {
+			b.Run(ctx, n)
+		}
+		return observe(ctx)
+	}
+	whole := split(600)
+	if got := split(300, 300); got != whole {
+		t.Errorf("Run(300)+Run(300) state %v differs from Run(600) %v", got, whole)
+	}
+	if got := split(1, 599); got != whole {
+		t.Errorf("Run(1)+Run(599) state %v differs from Run(600) %v", got, whole)
+	}
+	// A second Burst with the same seed on a fresh machine replays the
+	// identical stream — but a fresh Burst mid-run must not restart it.
+	sys := sched.NewSystem(uarch.SandyBridge(), 13)
+	ctx := sys.NewProcess("noisy")
+	NewBurst(21, DefaultRegion, 1<<18).Run(ctx, 300)
+	NewBurst(21, DefaultRegion, 1<<18).Run(ctx, 300)
+	if got := observe(ctx); got == whole {
+		t.Error("two fresh Bursts matched one continuous stream: Run is not stateful")
+	}
+}

@@ -32,7 +32,8 @@ type LedgerRecord struct {
 	// when the program runs a single root task).
 	BaseSeed uint64 `json:"base_seed"`
 	Seed     uint64 `json:"seed"`
-	// Outcome is "ok", "error", "panic", "timeout" or "canceled".
+	// Outcome is "ok", "retried-ok", "error", "panic", "exhausted",
+	// "timeout" or "canceled" (engine.Report.Outcome's vocabulary).
 	Outcome string `json:"outcome"`
 	Error   string `json:"error,omitempty"`
 	// WallSeconds is the one nondeterministic field (0 in golden tests).

@@ -37,7 +37,7 @@ func TestEndpoints(t *testing.T) {
 	reg.Histogram("probe.cycles", []uint64{10, 100}).Observe(42)
 	tracker := NewTracker("test", 1, true, []string{"fig2", "table1"})
 	tracker.Begin("fig2", 99)
-	tracker.End("fig2", 80*time.Millisecond, nil)
+	tracker.End("fig2", 80*time.Millisecond, "", nil)
 	tracker.Begin("table1", 42)
 
 	s := &Server{Program: "test", Metrics: reg, Status: tracker.Status, Ready: tracker.Ready}
@@ -146,7 +146,7 @@ func TestConcurrentScrape(t *testing.T) {
 				h.Observe(i % 500)
 				id := string(rune('a' + i%3))
 				tracker.Begin(id, i)
-				tracker.End(id, time.Duration(i), nil)
+				tracker.End(id, time.Duration(i), "", nil)
 			}
 		}
 	}()
@@ -208,7 +208,7 @@ func TestOutcomeOf(t *testing.T) {
 func TestNilTrackerAndLogger(t *testing.T) {
 	var tr *Tracker
 	tr.Begin("x", 1)
-	tr.End("x", 0, nil)
+	tr.End("x", 0, "", nil)
 	if tr.Ready() {
 		t.Error("nil tracker reports ready")
 	}

@@ -17,7 +17,11 @@ type TaskStatus struct {
 	// WallSeconds is the task's duration once finished, or its age so
 	// far while running.
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// Outcome is the finished task's engine classification ("ok",
+	// "retried-ok", "exhausted", "timeout", "canceled", ...) — finer
+	// grained than State, which only distinguishes done from failed.
+	Outcome string `json:"outcome,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // HistogramStatus summarizes one metrics histogram for /statusz.
@@ -109,16 +113,24 @@ func (t *Tracker) Begin(id string, seed uint64) {
 	t.started[id] = time.Now()
 }
 
-// End marks a task done or failed.
-func (t *Tracker) End(id string, wall time.Duration, err error) {
+// End marks a task done or failed. outcome is the engine's fine-grained
+// classification (Report.Outcome or OutcomeOf); empty derives it from
+// err, so callers without an engine report can pass "". A task whose
+// outcome is a success class ("ok", "retried-ok") ends done even
+// with retries behind it; everything else with a non-nil err is failed.
+func (t *Tracker) End(id string, wall time.Duration, outcome string, err error) {
 	if t == nil {
 		return
+	}
+	if outcome == "" {
+		outcome = OutcomeOf(err)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ts := t.add(id)
 	ts.State = "done"
 	ts.WallSeconds = wall.Seconds()
+	ts.Outcome = outcome
 	if err != nil {
 		ts.State = "failed"
 		ts.Error = err.Error()

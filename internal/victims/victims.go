@@ -52,6 +52,32 @@ func LoopingSecretArraySender(secret []bool, branchAddr uint64) func(*cpu.Contex
 	}
 }
 
+// HeldBitSender is the retransmission-capable variant of the Listing 2
+// sender: it transmits secret[*pos % len(secret)] over and over — one
+// secret-dependent branch per iteration, same per-iteration shape as
+// SecretArraySender — until the controlling harness advances *pos. A
+// resilient receiver may spend several episodes (retries) deciding one
+// bit and moves the cursor only once decided; the plain looping sender
+// would desynchronize after the first retry. The strict scheduler
+// handoff orders the harness's *pos writes before the sender's reads,
+// so sharing the cursor is race-free by construction.
+func HeldBitSender(secret []bool, branchAddr uint64, pos *int) func(*cpu.Context) {
+	if branchAddr == 0 {
+		branchAddr = SecretBranchAddr
+	}
+	return func(ctx *cpu.Context) {
+		for {
+			bit := secret[*pos%len(secret)]
+			ctx.Work(3) // load sec_data[*pos], test
+			ctx.Branch(branchAddr, bit)
+			if bit {
+				ctx.Work(2) // nop; nop
+			}
+			ctx.Work(1) // re-check cursor
+		}
+	}
+}
+
 // PacedIteration is the fixed instruction count of one PacedSender
 // iteration.
 const PacedIteration = 8
