@@ -98,6 +98,9 @@ func run() (code int) {
 		return usageErr("-trace requires -runs 1: per-run recorder summaries would be " +
 			"misattributed when averaging over runs")
 	}
+	if err := obsFlags.RequireNoCampaign("branchscope"); err != nil {
+		return usageErr("%v", err)
+	}
 	m, err := uarch.ByName(*model)
 	if err != nil {
 		return usageErr("%v", err)
@@ -207,6 +210,13 @@ func run() (code int) {
 	tracker.Begin("covert", *seed)
 	sess.Deltas.Begin("covert")
 	sess.Log.Info("task start", "id", "covert", "seed", *seed, "model", m.Name, "bits", *bits, "runs", *runs)
+	if obsFlags.Watchdog > 0 {
+		w := time.AfterFunc(obsFlags.Watchdog, func() {
+			tracker.MarkStuck("covert")
+			sess.Log.Warn("task stuck past watchdog", "id", "covert", "watchdog", obsFlags.Watchdog.String())
+		})
+		defer w.Stop()
+	}
 	start := time.Now()
 	res, err := experiments.RunCovert(ctx, cfg)
 	wall := time.Since(start)

@@ -7,7 +7,8 @@
 //
 //	experiments [-quick] [-seed 1] [-parallel N] [-timeout 0]
 //	            [-chaos light|moderate|heavy|FLOAT|JSON] [-chaos-seed 0]
-//	            [-retry N]
+//	            [-retry N] [-watchdog 0] [-breaker 0]
+//	            [-checkpoint run.journal] [-resume]
 //	            [-list] [-check] [-md out.md] [-json out.json]
 //	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
@@ -41,6 +42,18 @@
 // determinism contract: same seed, plan, and flags give byte-identical
 // stdout at any -parallel.
 //
+// Durability (see internal/campaign and DESIGN §3.16): -checkpoint
+// journals every task outcome to a crash-safe branchscope.campaign/v1
+// file (fsynced per record); -resume replays the journal's completed
+// tasks and re-runs only the rest with the same derived seeds, so a run
+// killed at any point converges to the byte-identical report of an
+// uninterrupted one (campaign mode zeroes the nondeterministic
+// wall_seconds export field). -watchdog marks tasks running past a soft
+// deadline as stuck in /statusz without killing them; -breaker N opens
+// a per-family circuit breaker after N consecutive permanent failures,
+// skipping the family's remaining tasks ("skipped-open-breaker") and
+// degrading /readyz while open.
+//
 // Observability (shared surface, see internal/cliutil): stdout carries
 // only the deterministic report; progress is structured slog on stderr
 // (-log-format/-log-level), one start and one finish/fail event per
@@ -68,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"branchscope/internal/campaign"
 	"branchscope/internal/cliutil"
 	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
@@ -148,9 +162,26 @@ func run() (code int) {
 	}
 
 	tracker := obs.NewTracker("experiments", *seed, *quick, ids)
+	breakers := obsFlags.Breakers()
+	var sess *cliutil.Session
+	// /statusz reflects breaker state and probe degradations alongside
+	// task progress; /readyz degrades while any family's breaker is open.
+	statusFn := func() obs.Status {
+		st := tracker.Status()
+		for _, b := range breakers.Status() {
+			st.Breakers = append(st.Breakers, obs.BreakerStatus{
+				Family: b.Family, State: b.State,
+				ConsecutiveFailures: b.ConsecutiveFailures, Skipped: b.Skipped,
+			})
+		}
+		if sess != nil && sess.Metrics != nil {
+			st.DegradedProbes = sess.Metrics.Counter("core.probe.degradations").Value()
+		}
+		return st
+	}
 	sess, err := cliutil.NewSession("experiments", obsFlags, cliutil.Options{
-		Status: tracker.Status,
-		Ready:  tracker.Ready,
+		Status: statusFn,
+		Ready:  func() bool { return tracker.Ready() && !breakers.AnyOpen() },
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -188,12 +219,35 @@ func run() (code int) {
 	}
 	if plan != nil {
 		sess.Log.Info("chaos enabled", "plan", plan.String())
-		experiments.SetDefaultChaos(plan)
-		defer experiments.SetDefaultChaos(nil)
+		// A crash-only plan must not perturb the simulation: only plans
+		// with episode faults become the process-wide default.
+		if plan.HasEpisodeFaults() {
+			experiments.SetDefaultChaos(plan)
+			defer experiments.SetDefaultChaos(nil)
+		}
 	}
 	if rc := obsFlags.RetryConfig(); rc != nil {
 		experiments.SetDefaultRetry(rc)
 		defer experiments.SetDefaultRetry(nil)
+	}
+
+	// -checkpoint/-resume make the suite durable: every outcome is
+	// journaled as it completes, and a resumed run replays the journal
+	// and re-runs only what's missing, with the same derived seeds.
+	camp, err := obsFlags.Campaign(campaign.Header{
+		Program: "experiments", BaseSeed: *seed, Quick: *quick, Tasks: ids,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	if camp != nil {
+		defer camp.Journal.Close()
+		if plan != nil {
+			camp.CrashAfter = plan.CrashPoint()
+		}
+		sess.Log.Info("campaign journal open", "path", camp.Journal.Path(),
+			"replayed", len(camp.Replayed), "crash_after", camp.CrashAfter)
 	}
 
 	// Per-experiment simulated-cycle attribution only works when one
@@ -219,9 +273,16 @@ func run() (code int) {
 	}
 	var done atomic.Int64
 	runner := &engine.Runner{
-		Pool:    pool,
-		Timeout: *timeout,
-		Retry:   obsFlags.RetryPolicy(),
+		Pool:     pool,
+		Timeout:  *timeout,
+		Retry:    obsFlags.RetryPolicy(),
+		Watchdog: obsFlags.Watchdog,
+		Breakers: breakers,
+		OnStuck: func(t engine.Task, seed uint64) {
+			tracker.MarkStuck(t.ID)
+			sess.Log.Warn("task stuck past watchdog", "id", t.ID, "seed", seed,
+				"watchdog", obsFlags.Watchdog.String())
+		},
 		OnStart: func(t engine.Task, seed uint64) {
 			tracker.Begin(t.ID, seed)
 			sess.Deltas.Begin(t.ID)
@@ -266,7 +327,20 @@ func run() (code int) {
 			}
 		},
 	}
-	reports := runner.RunSuite(ctx, tasks, engine.Config{Quick: *quick, Seed: *seed})
+	var reports []engine.Report
+	var journalErr error
+	ecfg := engine.Config{Quick: *quick, Seed: *seed}
+	if camp != nil {
+		reports, journalErr = camp.Run(ctx, runner, tasks, ecfg)
+		// Wall time is the one nondeterministic report field; campaign
+		// mode zeroes it so an interrupted-and-resumed run's exports are
+		// byte-identical to an uninterrupted run's.
+		for i := range reports {
+			reports[i].Wall = 0
+		}
+	} else {
+		reports = runner.RunSuite(ctx, tasks, ecfg)
+	}
 	engine.FormatText(os.Stdout, reports)
 
 	if *mdPath != "" {
@@ -304,6 +378,10 @@ func run() (code int) {
 			return 1
 		}
 		sess.Log.Info("JSON export written", "path", *jsonPath, "schema", "branchscope.experiments/v1")
+	}
+	if journalErr != nil {
+		sess.Log.Error("campaign journal failed", "err", journalErr)
+		return 1
 	}
 	if n := engine.Failed(reports); n > 0 {
 		sess.Log.Error("suite finished with failures", "failed", n, "total", len(reports))

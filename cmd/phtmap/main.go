@@ -41,8 +41,8 @@ import (
 	"branchscope/internal/chaos"
 	"branchscope/internal/cliutil"
 	"branchscope/internal/experiments"
-	"branchscope/internal/sched"
 	"branchscope/internal/obs"
+	"branchscope/internal/sched"
 	"branchscope/internal/telemetry"
 	"branchscope/internal/uarch"
 )
@@ -70,6 +70,11 @@ func run() (code int) {
 	startAddr, err := strconv.ParseUint(*start, 0, 64)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -start: %v\n", err)
+		return 2
+	}
+	if err := obsFlags.RequireNoCampaign("phtmap"); err != nil {
+		fmt.Fprintln(os.Stderr, "phtmap:", err)
+		flag.Usage()
 		return 2
 	}
 
@@ -114,7 +119,9 @@ func run() (code int) {
 		return 2
 	}
 	var prepare func(*sched.System)
-	if plan != nil {
+	// Only plans with episode faults install an injector: a crash-only
+	// plan has nothing to inject here and must not perturb the mapping.
+	if plan != nil && plan.HasEpisodeFaults() {
 		sess.Log.Info("chaos enabled", "plan", plan.String(), "mode", "self-clocked")
 		prepare = func(sys *sched.System) {
 			inj := chaos.NewInjector(sys, *plan)
@@ -125,6 +132,13 @@ func run() (code int) {
 	tracker.Begin("fig5", *seed)
 	sess.Deltas.Begin("fig5")
 	sess.Log.Info("task start", "id", "fig5", "seed", *seed, "model", m.Name, "start", *start)
+	if obsFlags.Watchdog > 0 {
+		w := time.AfterFunc(obsFlags.Watchdog, func() {
+			tracker.MarkStuck("fig5")
+			sess.Log.Warn("task stuck past watchdog", "id", "fig5", "watchdog", obsFlags.Watchdog.String())
+		})
+		defer w.Stop()
+	}
 	begin := time.Now()
 	res, err := experiments.RunFig5(ctx, experiments.Fig5Config{
 		Model:         m,

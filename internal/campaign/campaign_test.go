@@ -1,0 +1,377 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchscope/internal/engine"
+)
+
+// escRes is a deterministic Result whose text and rows exercise JSON
+// HTML escaping (<, >, &, quotes) — the byte-fidelity hazard of the
+// replay path.
+type escRes struct{ seed uint64 }
+
+func (r escRes) String() string {
+	return fmt.Sprintf("value <%d> & \"done\"\n", r.seed%97)
+}
+func (r escRes) Rows() []engine.Row {
+	return []engine.Row{
+		{engine.F("n", r.seed%97), engine.F("label", fmt.Sprintf("<%d> & \"x\"", r.seed%7))},
+		{engine.F("n", r.seed%13), engine.F("label", "plain")},
+	}
+}
+
+// nilRowsRes has String output but null rows — the nil-vs-empty
+// round-trip case.
+type nilRowsRes struct{}
+
+func (nilRowsRes) String() string     { return "no rows here\n" }
+func (nilRowsRes) Rows() []engine.Row { return nil }
+
+func testTasks() []engine.Task {
+	mk := func(id string) engine.Task {
+		return engine.Task{ID: id, Artifact: "T", Description: "campaign test " + id,
+			Run: func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return escRes{seed: cfg.Seed}, nil
+			}}
+	}
+	tasks := []engine.Task{mk("t0"), mk("t1"), mk("t2"), mk("t3"), mk("t4")}
+	tasks = append(tasks, engine.Task{ID: "t5", Artifact: "T", Description: "nil rows",
+		Run: func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
+			return nilRowsRes{}, nil
+		}})
+	return tasks
+}
+
+func taskIDs(tasks []engine.Task) []string {
+	ids := make([]string, len(tasks))
+	for i, t := range tasks {
+		ids[i] = t.ID
+	}
+	return ids
+}
+
+// render produces the deterministic text + JSON export of a report
+// slice, with the nondeterministic wall time zeroed as campaign mode
+// does.
+func render(t *testing.T, reports []engine.Report) (string, string) {
+	t.Helper()
+	for i := range reports {
+		reports[i].Wall = 0
+	}
+	var txt, js bytes.Buffer
+	engine.FormatText(&txt, reports)
+	if err := engine.WriteJSON(&js, engine.ExportMeta{BaseSeed: 42, Quick: true}, reports); err != nil {
+		t.Fatal(err)
+	}
+	return txt.String(), js.String()
+}
+
+// TestCrashResumeByteIdentical is the tentpole acceptance test: a run
+// killed after its third journaled outcome — with a torn partial
+// record appended, as a real mid-write crash would leave — and then
+// resumed at a different parallelism produces byte-identical text and
+// JSON exports to a run that was never interrupted.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	tasks := testTasks()
+	h := Header{Program: "test", BaseSeed: 42, Quick: true, Tasks: taskIDs(tasks)}
+	cfg := engine.Config{Quick: true, Seed: 42}
+	dir := t.TempDir()
+
+	// Baseline: an uninterrupted campaign at -parallel 1.
+	basePath := filepath.Join(dir, "base.journal")
+	baseCamp, err := New(basePath, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseReports, err := baseCamp.Run(context.Background(), &engine.Runner{}, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCamp.Journal.Close()
+	baseTxt, baseJSON := render(t, baseReports)
+	if !strings.Contains(baseJSON, `\u003c`) {
+		t.Fatalf("test rows don't exercise HTML escaping:\n%s", baseJSON)
+	}
+
+	// Crashed run: sequential, killed (via context teardown, standing in
+	// for os.Exit) right after the third journaled outcome.
+	crashPath := filepath.Join(dir, "crash.journal")
+	crashCamp, err := New(crashPath, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	crashCamp.CrashAfter = 3
+	crashCamp.CrashFn = cancel
+	if _, err := crashCamp.Run(ctx, &engine.Runner{}, tasks, cfg); err != nil {
+		t.Fatal(err)
+	}
+	crashCamp.Journal.Close()
+	// A real SIGKILL can additionally tear the in-flight append.
+	f, err := os.OpenFile(crashPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"sum":"crc32:00000000","task":{"id":"t9","outco`)
+	f.Close()
+
+	_, recs, torn, err := Load(crashPath)
+	if err != nil {
+		t.Fatalf("torn journal must still load: %v", err)
+	}
+	if !torn {
+		t.Error("torn tail not reported")
+	}
+	completed := 0
+	for _, r := range recs {
+		if r.Completed() {
+			completed++
+		}
+	}
+	if completed != 3 {
+		t.Fatalf("crashed journal holds %d completed records, want 3", completed)
+	}
+
+	// Resume at -parallel 4: replay the three, re-run the rest.
+	resumed, err := Resume(crashPath, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Replayed) != 3 {
+		t.Fatalf("resume replayed %d tasks, want 3", len(resumed.Replayed))
+	}
+	var replayedSeen []string
+	runner := &engine.Runner{
+		Pool: engine.NewPool(4),
+		OnDone: func(rep engine.Report) {
+			if rep.Replayed {
+				replayedSeen = append(replayedSeen, rep.Task.ID)
+				if o := rep.Outcome(); o != "replayed" {
+					t.Errorf("replayed report outcome = %q", o)
+				}
+			}
+		},
+	}
+	resReports, err := resumed.Run(context.Background(), runner, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Journal.Close()
+	if len(replayedSeen) != 3 {
+		t.Errorf("OnDone saw %d replayed reports, want 3 (got %v)", len(replayedSeen), replayedSeen)
+	}
+
+	resTxt, resJSON := render(t, resReports)
+	if resTxt != baseTxt {
+		t.Errorf("resumed text differs from uninterrupted run:\n--- base ---\n%s\n--- resumed ---\n%s", baseTxt, resTxt)
+	}
+	if resJSON != baseJSON {
+		t.Errorf("resumed JSON differs from uninterrupted run:\n--- base ---\n%s\n--- resumed ---\n%s", baseJSON, resJSON)
+	}
+
+	// The compacted journal is clean: a second resume sees no torn tail
+	// and every task completed.
+	_, recs, torn, err = Load(crashPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("journal still torn after resume compaction")
+	}
+	if len(recs) != len(tasks) {
+		t.Errorf("final journal holds %d records, want %d", len(recs), len(tasks))
+	}
+}
+
+// TestResumeCompletedRunReplaysEverything: resuming a finished journal
+// runs nothing and still renders identically.
+func TestResumeCompletedRunReplaysEverything(t *testing.T) {
+	tasks := testTasks()
+	h := Header{Program: "test", BaseSeed: 42, Quick: true, Tasks: taskIDs(tasks)}
+	cfg := engine.Config{Quick: true, Seed: 42}
+	path := filepath.Join(t.TempDir(), "done.journal")
+
+	camp, err := New(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseReports, err := camp.Run(context.Background(), &engine.Runner{}, tasks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.Journal.Close()
+	baseTxt, baseJSON := render(t, baseReports)
+
+	resumed, err := Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	wrapped := make([]engine.Task, len(tasks))
+	copy(wrapped, tasks)
+	for i := range wrapped {
+		inner := wrapped[i].Run
+		wrapped[i].Run = func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
+			ran++
+			return inner(ctx, cfg)
+		}
+	}
+	resReports, err := resumed.Run(context.Background(), &engine.Runner{}, wrapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Journal.Close()
+	if ran != 0 {
+		t.Errorf("%d tasks re-ran on a completed journal", ran)
+	}
+	resTxt, resJSON := render(t, resReports)
+	if resTxt != baseTxt || resJSON != baseJSON {
+		t.Error("full replay render differs from the original run")
+	}
+}
+
+// TestResumeRejectsMismatchedHeader: a journal from a different seed,
+// scale, program or task list must not be spliced into this run.
+func TestResumeRejectsMismatchedHeader(t *testing.T) {
+	tasks := testTasks()
+	h := Header{Program: "test", BaseSeed: 42, Quick: true, Tasks: taskIDs(tasks)}
+	path := filepath.Join(t.TempDir(), "h.journal")
+	camp, err := New(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.Journal.Close()
+
+	cases := []struct {
+		name string
+		want Header
+	}{
+		{"seed", Header{Program: "test", BaseSeed: 43, Quick: true, Tasks: h.Tasks}},
+		{"quick", Header{Program: "test", BaseSeed: 42, Quick: false, Tasks: h.Tasks}},
+		{"program", Header{Program: "other", BaseSeed: 42, Quick: true, Tasks: h.Tasks}},
+		{"tasks", Header{Program: "test", BaseSeed: 42, Quick: true, Tasks: h.Tasks[:3]}},
+	}
+	for _, tc := range cases {
+		if _, err := Resume(path, tc.want); err == nil {
+			t.Errorf("%s mismatch accepted", tc.name)
+		}
+	}
+	if _, err := Resume(path, h); err != nil {
+		t.Errorf("matching header rejected: %v", err)
+	}
+}
+
+// TestLoadRejectsMidFileCorruption: a damaged line with valid content
+// after it is real corruption, not a torn tail.
+func TestLoadRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Create(path, Header{Program: "test", Tasks: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(TaskRecord{ID: "a", Outcome: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(TaskRecord{ID: "b", Outcome: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// Flip a byte inside the first task record's payload.
+	lines[1] = bytes.Replace(lines[1], []byte(`"id":"a"`), []byte(`"id":"X"`), 1)
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Load(path); err == nil {
+		t.Fatal("mid-file checksum corruption loaded without error")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("error does not identify the checksum mismatch: %v", err)
+	}
+}
+
+// TestCrashAfterCountsFreshOutcomesOnly: the crash point's clock is
+// appends by this process, so a resumed run under the same plan makes
+// the same amount of new progress before crashing again.
+func TestCrashAfterCountsFreshOutcomesOnly(t *testing.T) {
+	tasks := testTasks()
+	h := Header{Program: "test", BaseSeed: 42, Quick: true, Tasks: taskIDs(tasks)}
+	cfg := engine.Config{Quick: true, Seed: 42}
+	path := filepath.Join(t.TempDir(), "cc.journal")
+
+	camp, err := New(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	camp.CrashAfter = 2
+	crashes := 0
+	camp.CrashFn = func() { crashes++; cancel() }
+	if _, err := camp.Run(ctx, &engine.Runner{}, tasks, cfg); err != nil {
+		t.Fatal(err)
+	}
+	camp.Journal.Close()
+	if crashes != 1 {
+		t.Fatalf("crash fired %d times, want 1", crashes)
+	}
+
+	resumed, err := Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Replayed) != 2 {
+		t.Fatalf("replayed %d, want 2", len(resumed.Replayed))
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	resumed.CrashAfter = 2
+	resumed.CrashFn = func() { crashes++; cancel2() }
+	if _, err := resumed.Run(ctx2, &engine.Runner{}, tasks, cfg); err != nil {
+		t.Fatal(err)
+	}
+	resumed.Journal.Close()
+	if crashes != 2 {
+		t.Fatalf("resumed run's crash point did not fire on fresh progress (crashes=%d)", crashes)
+	}
+	// Two fresh completions per killed run: one more resume replays 4.
+	final, err := Resume(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Replayed) != 4 {
+		t.Errorf("after two crashes, %d tasks completed, want 4", len(final.Replayed))
+	}
+	final.Journal.Close()
+}
+
+// TestJournalFailureSurfacesFromRun: appends against a closed journal
+// must surface as Run's error, not vanish.
+func TestJournalFailureSurfacesFromRun(t *testing.T) {
+	tasks := testTasks()
+	h := Header{Program: "test", BaseSeed: 42, Quick: true, Tasks: taskIDs(tasks)}
+	path := filepath.Join(t.TempDir(), "f.journal")
+	camp, err := New(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.Journal.Close() // sabotage: every append now fails
+	if _, err := camp.Run(context.Background(), &engine.Runner{}, tasks, engine.Config{Quick: true, Seed: 42}); err == nil {
+		t.Fatal("Run succeeded with a dead journal")
+	}
+}

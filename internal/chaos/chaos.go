@@ -23,6 +23,7 @@ package chaos
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -70,12 +71,69 @@ type Plan struct {
 	// VictimJitter models victim slowdown/speedup: the victim
 	// occasionally advances extra iterations within one attack window.
 	VictimJitter Spec `json:"victim"`
+	// Crash is the campaign-layer crash point: Magnitude N kills the
+	// process (exit code campaign.CrashExitCode) right after the Nth
+	// task outcome is journaled, so CI can interrupt a checkpointed run
+	// at a deterministic point and assert resume equivalence. Unlike
+	// the episode faults above it never touches a measurement; it is a
+	// no-op without a -checkpoint journal. Prob and Span are unused.
+	Crash Spec `json:"crash"`
 }
 
-// Enabled reports whether the plan can inject any fault at all.
+// Enabled reports whether the plan does anything at all — injects
+// episode faults or arms a campaign crash point.
 func (p Plan) Enabled() bool {
+	return p.HasEpisodeFaults() || p.Crash.Magnitude > 0
+}
+
+// HasEpisodeFaults reports whether the plan injects measurement-level
+// faults (anything but a crash point). Harnesses gate Injector
+// installation on this, not Enabled: a crash-only plan must leave the
+// simulated machines untouched so a crashed-and-resumed run is
+// byte-comparable to an uninterrupted run without the plan.
+func (p Plan) HasEpisodeFaults() bool {
 	return p.Preempt.Prob > 0 || p.Migrate.Prob > 0 || p.PMCCorrupt.Prob > 0 ||
 		p.TSCJitter.Prob > 0 || p.VictimJitter.Prob > 0
+}
+
+// CrashPoint returns the armed crash point: kill the process after N
+// journaled task outcomes. 0 means no crash point.
+func (p Plan) CrashPoint() int {
+	if p.Crash.Magnitude > 0 {
+		return p.Crash.Magnitude
+	}
+	return 0
+}
+
+// Validate rejects plans that cannot describe a realizable fault
+// schedule: NaN, infinite or out-of-[0,1] probabilities and negative
+// spans or magnitudes. Parse validates every plan it returns; callers
+// constructing plans in code can check theirs the same way.
+func (p Plan) Validate() error {
+	check := func(name string, s Spec) error {
+		if math.IsNaN(s.Prob) || math.IsInf(s.Prob, 0) || s.Prob < 0 || s.Prob > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0, 1]", name, s.Prob)
+		}
+		if s.Span < 0 {
+			return fmt.Errorf("chaos: %s span %d is negative", name, s.Span)
+		}
+		if s.Magnitude < 0 {
+			return fmt.Errorf("chaos: %s magnitude %d is negative", name, s.Magnitude)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		spec Spec
+	}{
+		{"preempt", p.Preempt}, {"migrate", p.Migrate}, {"pmc", p.PMCCorrupt},
+		{"tsc", p.TSCJitter}, {"victim", p.VictimJitter}, {"crash", p.Crash},
+	} {
+		if err := check(f.name, f.spec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WithSeed returns a copy of the plan with its seed replaced.
@@ -162,11 +220,20 @@ func Parse(s string, seed uint64) (Plan, error) {
 		if p.Seed == 0 {
 			p.Seed = seed
 		}
+		if err := p.Validate(); err != nil {
+			return Plan{}, err
+		}
 		return p, nil
 	}
 	f, err := strconv.ParseFloat(t, 64)
-	if err != nil || f < 0 {
+	if err != nil {
 		return Plan{}, fmt.Errorf("chaos: want off, light, moderate, heavy, an intensity >= 0 or a plan JSON; got %q", s)
+	}
+	// ParseFloat accepts "NaN" and "Inf", and a negative intensity has
+	// no meaning; reject all three explicitly rather than letting them
+	// poison every derived probability.
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return Plan{}, fmt.Errorf("chaos: intensity must be a finite number >= 0; got %q", s)
 	}
 	return AtIntensity(seed, f), nil
 }

@@ -23,6 +23,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"branchscope/internal/campaign"
 	"branchscope/internal/chaos"
 	"branchscope/internal/core"
 	"branchscope/internal/engine"
@@ -48,6 +49,14 @@ type Flags struct {
 	Chaos     string
 	ChaosSeed uint64
 	Retry     int
+	// Checkpoint/Resume/Watchdog/Breaker are the durability surface: a
+	// crash-safe campaign journal with resume, a soft per-task deadline,
+	// and a per-family circuit breaker. See Campaign, RequireNoCampaign
+	// and Breakers.
+	Checkpoint string
+	Resume     bool
+	Watchdog   time.Duration
+	Breaker    int
 }
 
 // Register installs the shared flags on fs.
@@ -63,6 +72,10 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Chaos, "chaos", "", "deterministic fault injection: off, light, moderate, heavy, a bare intensity multiplier, or a chaos plan JSON object")
 	fs.Uint64Var(&f.ChaosSeed, "chaos-seed", 0, "seed for the chaos plan's fault schedule (0 = derive from -seed)")
 	fs.IntVar(&f.Retry, "retry", 0, "per-bit attempt budget for the resilient attack loop; also retries transiently-failed tasks (0 = the paper's naive single-episode read)")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "journal per-task outcomes to this crash-safe branchscope.campaign/v1 file as they complete (enables -resume)")
+	fs.BoolVar(&f.Resume, "resume", false, "resume an interrupted campaign from the -checkpoint journal: replay completed tasks, re-run the rest with the same derived seeds")
+	fs.DurationVar(&f.Watchdog, "watchdog", 0, "soft per-task deadline: tasks running past it are marked stuck in /statusz and logs but keep running (0 = off)")
+	fs.IntVar(&f.Breaker, "breaker", 0, "open a per-family circuit breaker after N consecutive permanent task failures, skipping the family's remaining tasks (0 = off)")
 }
 
 // ChaosPlan resolves -chaos/-chaos-seed into a fault plan. It returns
@@ -87,6 +100,37 @@ func (f Flags) ChaosPlan(baseSeed uint64) (*chaos.Plan, error) {
 	}
 	return &plan, nil
 }
+
+// Campaign resolves -checkpoint/-resume into a durable campaign: nil
+// when neither flag asks for one, a fresh journal for -checkpoint
+// alone, a resumed one for -checkpoint -resume. The header pins the
+// run's identity; Resume fails loudly on a mismatched journal.
+func (f Flags) Campaign(h campaign.Header) (*campaign.Campaign, error) {
+	if f.Checkpoint == "" {
+		if f.Resume {
+			return nil, errors.New("-resume requires -checkpoint (the journal to resume from)")
+		}
+		return nil, nil
+	}
+	if f.Resume {
+		return campaign.Resume(f.Checkpoint, h)
+	}
+	return campaign.New(f.Checkpoint, h)
+}
+
+// RequireNoCampaign rejects the campaign flags for single-task
+// programs: with exactly one root task there is nothing to checkpoint
+// between — rerunning the program is the resume path.
+func (f Flags) RequireNoCampaign(prog string) error {
+	if f.Checkpoint != "" || f.Resume {
+		return fmt.Errorf("%s runs a single root task; -checkpoint/-resume only apply to multi-task campaigns (use cmd/experiments)", prog)
+	}
+	return nil
+}
+
+// Breakers resolves -breaker into the engine's circuit-breaker set
+// (nil when disabled).
+func (f Flags) Breakers() *engine.BreakerSet { return engine.NewBreakerSet(f.Breaker) }
 
 // RetryConfig resolves -retry into the resilient read policy, nil when
 // the flag keeps the naive loop.

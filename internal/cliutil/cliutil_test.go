@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"branchscope/internal/campaign"
 	"branchscope/internal/engine"
 	"branchscope/internal/obs"
 	"branchscope/internal/telemetry"
@@ -29,6 +30,7 @@ func TestFlagRegistrationParity(t *testing.T) {
 		"metrics-out", "trace-out", "serve", "ledger-out",
 		"log-format", "log-level", "cpuprofile", "memprofile",
 		"chaos", "chaos-seed", "retry",
+		"checkpoint", "resume", "watchdog", "breaker",
 	}
 	for _, name := range want {
 		if fs.Lookup(name) == nil {
@@ -221,5 +223,62 @@ func TestSessionServeLifecycle(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+// TestCampaignFlagValidation pins the durability flag surface shared
+// by the CLIs: -resume requires -checkpoint, no flags means no
+// campaign, and single-task programs reject both.
+func TestCampaignFlagValidation(t *testing.T) {
+	if c, err := (Flags{}).Campaign(campaign.Header{}); err != nil || c != nil {
+		t.Errorf("no flags: campaign=%v err=%v, want nil/nil", c, err)
+	}
+	if _, err := (Flags{Resume: true}).Campaign(campaign.Header{}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if err := (Flags{}).RequireNoCampaign("prog"); err != nil {
+		t.Errorf("RequireNoCampaign without flags: %v", err)
+	}
+	if err := (Flags{Checkpoint: "x"}).RequireNoCampaign("prog"); err == nil {
+		t.Error("single-task program accepted -checkpoint")
+	}
+	if err := (Flags{Resume: true}).RequireNoCampaign("prog"); err == nil {
+		t.Error("single-task program accepted -resume")
+	}
+
+	// A fresh -checkpoint campaign opens a journal ready for appends.
+	path := filepath.Join(t.TempDir(), "j.journal")
+	c, err := (Flags{Checkpoint: path}).Campaign(campaign.Header{Program: "t", Tasks: []string{"a"}})
+	if err != nil || c == nil {
+		t.Fatalf("fresh campaign: %v", err)
+	}
+	if _, err := c.Journal.Append(campaign.TaskRecord{ID: "a", Outcome: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Journal.Close()
+	// And -resume reopens it with the completed record replayed.
+	c2, err := (Flags{Checkpoint: path, Resume: true}).Campaign(campaign.Header{Program: "t", Tasks: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Journal.Close()
+	if len(c2.Replayed) != 1 || c2.Replayed[0].ID != "a" {
+		t.Errorf("resume replayed %+v, want record a", c2.Replayed)
+	}
+}
+
+// TestBreakersFlag: -breaker 0 disables breaking, N arms it.
+func TestBreakersFlag(t *testing.T) {
+	if (Flags{}).Breakers() != nil {
+		t.Error("-breaker 0 built a breaker set")
+	}
+	b := (Flags{Breaker: 2}).Breakers()
+	if b == nil {
+		t.Fatal("-breaker 2 built no breaker set")
+	}
+	b.Observe("f", "error")
+	b.Observe("f", "error")
+	if b.Admit("f") {
+		t.Error("breaker did not open at the flag's threshold")
 	}
 }

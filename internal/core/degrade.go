@@ -1,0 +1,112 @@
+package core
+
+// Health-gated probe degradation: §7's PMC probe is the cleanest
+// channel, but it depends on a perf subsystem an adversarial or merely
+// busy machine can glitch — saturated readouts, counter resets on
+// migration, garbage windows. The paper's own fallback is §8: the
+// rdtscp timing probe needs no kernel cooperation at all. This file
+// automates that retreat. The session watches every PMC probe for
+// readings that cannot come from an intact counter and, when the
+// observed fault rate over a sliding window trips a threshold, falls
+// back to timing probes for the rest of the session — calibrating a
+// timing detector on the spot if the session never had one.
+
+// DegradeConfig arms the health gate of a PMC-probing session. The
+// zero value disables degradation entirely (the default: sessions
+// behave exactly as configured, and only opt-in harnesses trade probe
+// identity for availability).
+type DegradeConfig struct {
+	// MaxFaultRate in (0, 1] is the anomalous-probe fraction per window
+	// that trips the fallback; <= 0 disables the gate.
+	MaxFaultRate float64
+	// Window is the number of probes per health window (default
+	// DefaultDegradeWindow).
+	Window int
+}
+
+const (
+	// DefaultDegradeWindow is the health-window length in probes.
+	DefaultDegradeWindow = 64
+	// DefaultDegradeMaxFaultRate is the documented trip threshold: a
+	// quarter of a window's probes showing impossible counter behavior.
+	// The moderate chaos intensity stays below it; PMC saturation storms
+	// blow well past it.
+	DefaultDegradeMaxFaultRate = 0.25
+
+	// pmcSaneMaxDelta bounds the plausible per-probe-read misprediction
+	// delta. Counters are per-context and at most one spy branch runs
+	// between adjacent probe reads, so a real delta is 0 or 1; 16 leaves
+	// generous slack for model evolution while still catching random
+	// migration garbage.
+	pmcSaneMaxDelta = 16
+	// pmcSaneMaxValue bounds the plausible absolute counter value: a
+	// session observes millions of branches, not 2^48. Saturated reads
+	// (the chaos injector pins them at 2^62) exceed it on sight.
+	pmcSaneMaxValue = 1 << 48
+)
+
+// withDefaults normalizes an armed config.
+func (c DegradeConfig) withDefaults() DegradeConfig {
+	if c.MaxFaultRate > 0 && c.Window <= 0 {
+		c.Window = DefaultDegradeWindow
+	}
+	return c
+}
+
+// Degraded reports whether the session's health gate has fallen back
+// from PMC probing to rdtscp timing probing.
+func (s *Session) Degraded() bool { return s.degraded }
+
+// observePMCHealth feeds one PMC probe's raw readings into the health
+// window and trips the timing fallback when the window's fault rate
+// exceeds the configured threshold. No-op when the gate is disarmed or
+// already tripped.
+func (s *Session) observePMCHealth(m0, m1, m2 uint64) {
+	cfg := s.cfg.Degrade
+	if cfg.MaxFaultRate <= 0 || s.degraded {
+		return
+	}
+	s.healthProbes++
+	if pmcImplausible(m0, m1) || pmcImplausible(m1, m2) {
+		s.healthFaults++
+	}
+	if s.healthProbes < cfg.Window {
+		return
+	}
+	faults, probes := s.healthFaults, s.healthProbes
+	s.healthProbes, s.healthFaults = 0, 0
+	if float64(faults) < cfg.MaxFaultRate*float64(probes) {
+		return
+	}
+	s.degrade()
+}
+
+// pmcImplausible reports whether an adjacent pair of probe readings is
+// impossible for an intact per-context misprediction counter: it went
+// backwards, jumped further than any single probe branch can move it,
+// or reads an absurd absolute value (saturation).
+func pmcImplausible(before, after uint64) bool {
+	return after < before ||
+		after-before > pmcSaneMaxDelta ||
+		after >= pmcSaneMaxValue ||
+		before >= pmcSaneMaxValue
+}
+
+// degrade switches the session to timing probes, calibrating a detector
+// on fresh scratch addresses if the session never had one. One-way for
+// the session's lifetime: a perf subsystem that has already produced a
+// window of garbage has forfeited the benefit of the doubt, and
+// flapping between probe identities would make results unattributable.
+func (s *Session) degrade() {
+	if s.detector == nil {
+		if s.cfg.TimingCalibrationReps <= 0 {
+			s.cfg.TimingCalibrationReps = DefaultTimingCalibrationReps
+		}
+		s.detector = CalibrateTiming(s.spy, s.cfg.Search.SpyBase+1<<20, s.cfg.TimingCalibrationReps)
+		s.calCursor = s.cfg.Search.SpyBase + 2<<20
+	}
+	s.degraded = true
+	if s.tel != nil {
+		s.tel.set.Counter("core.probe.degradations").Inc()
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"branchscope/internal/rng"
+	"branchscope/internal/uarch"
+)
+
+// TestPMCImplausible pins the per-reading sanity predicate: backwards
+// counters, impossible jumps, and saturated absolute values are
+// anomalies; ordinary 0/1 deltas are not.
+func TestPMCImplausible(t *testing.T) {
+	cases := []struct {
+		before, after uint64
+		want          bool
+	}{
+		{100, 100, false},
+		{100, 101, false},
+		{100, 100 + pmcSaneMaxDelta, false},
+		{100, 101 + pmcSaneMaxDelta, true}, // impossible jump
+		{101, 100, true},                   // went backwards
+		{1 << 62, 1 << 62, true},           // saturated: delta 0 but absurd value
+		{100, 1 << 62, true},
+		{pmcSaneMaxValue, pmcSaneMaxValue, true},
+		{pmcSaneMaxValue - 1, pmcSaneMaxValue - 1, false},
+	}
+	for _, c := range cases {
+		if got := pmcImplausible(c.before, c.after); got != c.want {
+			t.Errorf("pmcImplausible(%d, %d) = %v, want %v", c.before, c.after, got, c.want)
+		}
+	}
+}
+
+// degradeSession builds a PMC session with the health gate armed
+// against a live victim, so the fallback path has a real channel to
+// calibrate and decode on.
+func degradeSession(t *testing.T) (*Session, func(bit bool) bool) {
+	t.Helper()
+	sys, spy := newSpy(t, uarch.SandyBridge(), 91)
+	secret := []bool{true, false}
+	victim, pos := heldBitVictim(sys, secret)
+	t.Cleanup(victim.Kill)
+	sess, err := NewSession(spy, rng.New(9), AttackConfig{
+		Search:  SearchConfig{TargetAddr: victimAddr, Focused: true},
+		Degrade: DegradeConfig{MaxFaultRate: DefaultDegradeMaxFaultRate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(bit bool) bool {
+		if bit {
+			*pos = 0
+		} else {
+			*pos = 1
+		}
+		return sess.SpyBit(victim, nil, nil)
+	}
+	return sess, read
+}
+
+// TestHealthGateTripsOnSaturationStorm: a window whose fault rate
+// blows past the threshold flips the session to timing probes —
+// one-way — and the session still decodes the channel afterwards.
+func TestHealthGateTripsOnSaturationStorm(t *testing.T) {
+	sess, read := degradeSession(t)
+	if sess.Degraded() {
+		t.Fatal("fresh session already degraded")
+	}
+	// Feed one full health window of saturated readings, as a PMC
+	// corruption storm produces.
+	for i := 0; i < DefaultDegradeWindow; i++ {
+		sess.observePMCHealth(1<<62, 1<<62, 1<<62)
+	}
+	if !sess.Degraded() {
+		t.Fatal("gate did not trip on a fully-saturated window")
+	}
+	if sess.Detector() == nil {
+		t.Fatal("degraded session has no timing detector to fall back on")
+	}
+	// The counter is poisoned, but the timing fallback still reads the
+	// victim: the channel survives the probe identity switch.
+	wrong := 0
+	for i := 0; i < 40; i++ {
+		want := i%2 == 0
+		if read(want) != want {
+			wrong++
+		}
+	}
+	if wrong > 4 {
+		t.Errorf("degraded session misread %d/40 bits", wrong)
+	}
+	// One-way: further observations are no-ops, never un-degrade.
+	sess.observePMCHealth(0, 0, 0)
+	if !sess.Degraded() {
+		t.Error("session un-degraded")
+	}
+}
+
+// TestHealthGateHoldsBelowThreshold: a fault rate under the threshold
+// never trips the gate, and a disarmed session ignores even a storm.
+func TestHealthGateHoldsBelowThreshold(t *testing.T) {
+	sess, _ := degradeSession(t)
+	// ~12.5% faults per window, threshold 25%: healthy enough.
+	for w := 0; w < 3; w++ {
+		for i := 0; i < DefaultDegradeWindow; i++ {
+			if i%8 == 0 {
+				sess.observePMCHealth(1<<62, 1<<62, 1<<62)
+			} else {
+				sess.observePMCHealth(100, 100, 101)
+			}
+		}
+	}
+	if sess.Degraded() {
+		t.Error("gate tripped below the configured fault rate")
+	}
+
+	// Disarmed (zero config): even a storm is ignored.
+	sys, spy := newSpy(t, uarch.SandyBridge(), 92)
+	secret := []bool{true}
+	victim, _ := heldBitVictim(sys, secret)
+	defer victim.Kill()
+	off, err := NewSession(spy, rng.New(9), AttackConfig{
+		Search: SearchConfig{TargetAddr: victimAddr, Focused: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*DefaultDegradeWindow; i++ {
+		off.observePMCHealth(1<<62, 1<<62, 1<<62)
+	}
+	if off.Degraded() {
+		t.Error("disarmed session degraded")
+	}
+}

@@ -7,12 +7,20 @@ import "branchscope/internal/cpu"
 // branch-misprediction performance counter around each execution, and
 // returns the observed pattern. This is the Listing 3 spy_function.
 func ProbePMC(ctx *cpu.Context, addr uint64, taken bool) Pattern {
-	m0 := ctx.ReadPMC(cpu.BranchMisses)
-	ctx.Branch(addr, taken)
-	m1 := ctx.ReadPMC(cpu.BranchMisses)
-	ctx.Branch(addr, taken)
-	m2 := ctx.ReadPMC(cpu.BranchMisses)
+	m0, m1, m2 := ProbePMCReadings(ctx, addr, taken)
 	return MakePattern(m1 > m0, m2 > m1)
+}
+
+// ProbePMCReadings performs the same probe but returns the three raw
+// counter readings: the session's health gate inspects them for
+// implausible values before the pattern is decoded (see DegradeConfig).
+func ProbePMCReadings(ctx *cpu.Context, addr uint64, taken bool) (m0, m1, m2 uint64) {
+	m0 = ctx.ReadPMC(cpu.BranchMisses)
+	ctx.Branch(addr, taken)
+	m1 = ctx.ReadPMC(cpu.BranchMisses)
+	ctx.Branch(addr, taken)
+	m2 = ctx.ReadPMC(cpu.BranchMisses)
+	return m0, m1, m2
 }
 
 // TSCSample is the raw material of a timing probe: the rdtscp-measured

@@ -26,6 +26,11 @@ type AttackConfig struct {
 	// Retry configures the resilient read path (ReadBit). The zero
 	// value keeps ReadBit single-shot; SpyBit ignores it entirely.
 	Retry RetryConfig
+	// Degrade arms the health gate that falls back from PMC probing to
+	// rdtscp timing probing when PMC readouts turn implausible (see
+	// degrade.go). The zero value disables it. Ignored on sessions that
+	// already probe with timing (UseTiming).
+	Degrade DegradeConfig
 }
 
 // DefaultTimingCalibrationReps is the documented default calibration
@@ -54,6 +59,13 @@ type Session struct {
 	calCursor    uint64
 	sinceCheck   int
 	recalibrated int
+
+	// Health-gate state (see degrade.go): probes and implausible-probe
+	// faults in the current window, and whether the session has fallen
+	// back to timing probing.
+	healthProbes int
+	healthFaults int
+	degraded     bool
 }
 
 // sessionTel caches the per-session telemetry handles (nil when the
@@ -132,6 +144,7 @@ func NewSession(spy *cpu.Context, r *rng.Source, cfg AttackConfig) (*Session, er
 		return nil, fmt.Errorf("core: AttackConfig.Search.TargetAddr not set")
 	}
 	cfg.Search = cfg.Search.withDefaults()
+	cfg.Degrade = cfg.Degrade.withDefaults()
 	block, analysis, err := FindBlock(spy, r, cfg.Search, StateSN, cfg.MaxCandidates)
 	if err != nil {
 		return nil, err
@@ -177,13 +190,17 @@ func (s *Session) Prime() {
 }
 
 // Probe executes attack stage 3 and returns the observation pattern. It
-// uses the PMC or the timestamp counter per the session configuration.
+// uses the PMC or the timestamp counter per the session configuration —
+// or timing regardless of configuration once the health gate has
+// degraded the session (see degrade.go).
 func (s *Session) Probe() Pattern {
-	if s.cfg.UseTiming {
+	if s.cfg.UseTiming || s.degraded {
 		sample := ProbeTSC(s.spy, s.cfg.Search.TargetAddr, true)
 		return MakePattern(s.detector.Miss(sample.First), s.detector.Miss(sample.Second))
 	}
-	return ProbePMC(s.spy, s.cfg.Search.TargetAddr, true)
+	m0, m1, m2 := ProbePMCReadings(s.spy, s.cfg.Search.TargetAddr, true)
+	s.observePMCHealth(m0, m1, m2)
+	return MakePattern(m1 > m0, m2 > m1)
 }
 
 // Stepper lets the attacker run the victim for an exact number of

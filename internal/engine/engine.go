@@ -60,8 +60,25 @@ func F(key string, value any) Field { return Field{Key: key, Value: value} }
 // marshal alphabetically and lose the experiment's column order).
 type Row []Field
 
+// rawRowKey marks a Row built by RawRow. The NUL byte cannot appear in
+// a real column name, so ordinary rows can never collide with it.
+const rawRowKey = "\x00raw"
+
+// RawRow wraps pre-rendered JSON (one object, as produced by marshaling
+// a Row) so it marshals byte-for-byte verbatim. The campaign journal
+// uses it to replay checkpointed results without a decode/re-encode
+// round trip that could reorder keys or reformat numbers.
+func RawRow(data json.RawMessage) Row {
+	return Row{Field{Key: rawRowKey, Value: data}}
+}
+
 // MarshalJSON implements json.Marshaler preserving field order.
 func (r Row) MarshalJSON() ([]byte, error) {
+	if len(r) == 1 && r[0].Key == rawRowKey {
+		if raw, ok := r[0].Value.(json.RawMessage); ok {
+			return raw, nil
+		}
+	}
 	buf := []byte{'{'}
 	for i, f := range r {
 		if i > 0 {

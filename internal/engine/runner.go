@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,10 +18,24 @@ type Task struct {
 	// Artifact and Description annotate reports and exports.
 	Artifact    string
 	Description string
+	// Family groups tasks for circuit breaking: repeated permanent
+	// failures in one family open that family's breaker and skip its
+	// remaining tasks (see BreakerSet). Empty means the task is its own
+	// family — an isolated failure can never short-circuit anything else.
+	Family string
 	// Run executes the task. The config's Seed is already derived for
 	// this task; Run must treat ctx as the cancellation signal and
 	// return promptly once it is done.
 	Run func(ctx context.Context, cfg Config) (Result, error)
+}
+
+// family resolves the breaker grouping: an explicit Family, or the
+// task's own ID (a family of one).
+func (t Task) family() string {
+	if t.Family != "" {
+		return t.Family
+	}
+	return t.ID
 }
 
 // Report is the outcome of one task run.
@@ -47,6 +62,19 @@ type Report struct {
 	// Exhausted marks a transient failure that consumed the full retry
 	// budget: the task kept failing retryably until MaxAttempts.
 	Exhausted bool
+	// Stuck marks a task that exceeded the runner's soft Watchdog
+	// deadline while running. Unlike a timeout it is advisory: the task
+	// kept running (and may well have finished), so Stuck can be true on
+	// a successful report. Excluded from deterministic exports.
+	Stuck bool
+	// SkippedBreaker marks a task that never ran because its family's
+	// circuit breaker was open (see BreakerSet); Err carries
+	// ErrBreakerOpen.
+	SkippedBreaker bool
+	// Replayed marks a report reconstructed from a campaign journal
+	// instead of a fresh run (see internal/campaign): Result renders the
+	// checkpointed bytes and Wall is zero.
+	Replayed bool
 }
 
 // Runner executes tasks under the engine's scheduling policy.
@@ -71,6 +99,20 @@ type Runner struct {
 	// Retry re-runs transiently failed tasks with fresh derived seeds
 	// and capped backoff. The zero policy disables retries.
 	Retry RetryPolicy
+	// Watchdog is the soft per-task deadline: a task still running past
+	// it is marked Stuck and reported through OnStuck, but — unlike
+	// Timeout — keeps running. 0 disables the watchdog. With retries the
+	// deadline covers the whole attempt loop, so a task stuck in retry
+	// churn is flagged too.
+	Watchdog time.Duration
+	// OnStuck, when non-nil, observes each task the moment it exceeds
+	// the Watchdog deadline (from the watchdog's timer goroutine) —
+	// progress reporting, not part of the deterministic output.
+	OnStuck func(t Task, seed uint64)
+	// Breakers, when non-nil, short-circuits task families that keep
+	// failing permanently (see BreakerSet). nil disables circuit
+	// breaking.
+	Breakers *BreakerSet
 }
 
 // RunTask executes one task with the runner's timeout, panic recovery,
@@ -82,8 +124,29 @@ func (r *Runner) RunTask(ctx context.Context, t Task, cfg Config) Report {
 	taskSeed := DeriveSeed(cfg.Seed, t.ID)
 	rep := Report{Task: t, Seed: taskSeed}
 
+	if !r.Breakers.Admit(t.family()) {
+		// The family's breaker is open: don't even start the task (no
+		// OnStart), but observers must still see it finish.
+		rep.SkippedBreaker = true
+		rep.Err = fmt.Errorf("engine: task %s: %w (family %q)", t.ID, ErrBreakerOpen, t.family())
+		if r.OnDone != nil {
+			r.OnDone(rep)
+		}
+		return rep
+	}
+
 	if r.OnStart != nil {
 		r.OnStart(t, taskSeed)
+	}
+	var stuck atomic.Bool
+	if r.Watchdog > 0 {
+		w := time.AfterFunc(r.Watchdog, func() {
+			stuck.Store(true)
+			if r.OnStuck != nil {
+				r.OnStuck(t, taskSeed)
+			}
+		})
+		defer w.Stop()
 	}
 	start := time.Now()
 	for attempt := 1; ; attempt++ {
@@ -110,9 +173,11 @@ func (r *Runner) RunTask(ctx context.Context, t Task, cfg Config) Report {
 		}
 	}
 	rep.Wall = time.Since(start)
+	rep.Stuck = stuck.Load()
 	if rep.Err != nil {
 		rep.Result = nil
 	}
+	r.Breakers.Observe(t.family(), rep.Outcome())
 	if r.OnDone != nil {
 		r.OnDone(rep)
 	}
@@ -190,13 +255,20 @@ func (r *Runner) RunSuite(ctx context.Context, tasks []Task, cfg Config) []Repor
 
 // Outcome classifies the report for ledgers and structured logs:
 // "ok", "retried-ok" (success that needed more than one attempt),
-// "panic", "exhausted" (transient failure that consumed the whole retry
-// budget), "timeout", "canceled" or "error". Timeout and cancellation
-// are deliberately distinct outcomes: a timeout is the task's own
-// budget expiring (actionable per task), a cancellation is the operator
-// or a parent tearing the suite down (not the task's fault).
+// "replayed" (reconstructed from a campaign journal, not re-run),
+// "skipped-open-breaker" (never ran: the family's circuit breaker was
+// open), "panic", "exhausted" (transient failure that consumed the
+// whole retry budget), "timeout", "canceled" or "error". Timeout and
+// cancellation are deliberately distinct outcomes: a timeout is the
+// task's own budget expiring (actionable per task), a cancellation is
+// the operator or a parent tearing the suite down (not the task's
+// fault).
 func (r Report) Outcome() string {
 	switch {
+	case r.SkippedBreaker:
+		return "skipped-open-breaker"
+	case r.Replayed:
+		return "replayed"
 	case r.Err == nil && r.Attempts > 1:
 		return "retried-ok"
 	case r.Err == nil:

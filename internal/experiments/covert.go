@@ -162,6 +162,12 @@ type CovertConfig struct {
 	// for timing sessions — drift-triggered recalibration. The zero
 	// value keeps the paper's naive single-episode loop.
 	Retry core.RetryConfig
+	// Degrade arms each run's health gate: a PMC-probing session whose
+	// counter readouts turn implausible past the threshold falls back
+	// to rdtscp timing probing mid-run (see core.DegradeConfig and
+	// DESIGN §3.16). Zero disables it — the default, so every existing
+	// cell keeps its configured probe identity.
+	Degrade core.DegradeConfig
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -183,6 +189,11 @@ type CovertResult struct {
 	// Recalibrations counts timing-detector rebuilds triggered by the
 	// resilient path's drift checks, summed over runs.
 	Recalibrations int
+	// DegradedRuns counts runs whose session's health gate fell back
+	// from PMC to timing probing mid-run (always 0 unless
+	// Config.Degrade arms the gate) — the report-side audit trail of a
+	// degraded measurement.
+	DegradedRuns int
 }
 
 // String implements fmt.Stringer.
@@ -203,6 +214,7 @@ func (r CovertResult) Rows() []engine.Row {
 		engine.F("per_run", r.PerRun),
 		engine.F("setup_failed", r.SetupFailed),
 		engine.F("unknown_bits", r.Unknown),
+		engine.F("degraded_runs", r.DegradedRuns),
 	}}
 }
 
@@ -333,6 +345,7 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 		Search:    core.SearchConfig{TargetAddr: victims.SecretBranchAddr, Focused: true},
 		UseTiming: cfg.UseTiming,
 		Retry:     cfg.Retry,
+		Degrade:   cfg.Degrade,
 	})
 	if err != nil {
 		// The channel could not be established: the attacker is
@@ -347,7 +360,7 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 	// slowdown jitter. Chaos episode boundaries ride the same
 	// before/after hooks the noise budget uses, adjacent to the step.
 	before, after := stepNoise(budget/2), stepNoise(budget-budget/2)
-	if plan := cfg.Chaos; plan != nil && plan.Enabled() {
+	if plan := cfg.Chaos; plan != nil && plan.HasEpisodeFaults() {
 		inj := chaos.NewInjector(sys, plan.WithSeed(plan.Seed^r.Uint64()))
 		defer inj.Detach()
 		victim = inj.WrapStepper(victim)
@@ -365,6 +378,10 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 			}
 			cursor = i // no-op for the free-running sender
 			got[i] = sess.SpyBit(victim, before, after)
+		}
+		if sess.Degraded() {
+			res.DegradedRuns++
+			tel.Counter("covert.degraded_runs").Inc()
 		}
 		return stats.ErrorRate(got, secret), nil
 	}
@@ -392,6 +409,10 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 		}
 	}
 	res.Recalibrations += sess.Recalibrations()
+	if sess.Degraded() {
+		res.DegradedRuns++
+		tel.Counter("covert.degraded_runs").Inc()
+	}
 	return errSum / float64(len(secret)), nil
 }
 

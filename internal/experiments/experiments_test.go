@@ -46,9 +46,9 @@ func TestFig2Shape(t *testing.T) {
 func TestTable1AllModelsMatchPaper(t *testing.T) {
 	for _, m := range uarch.All() {
 		res, err := RunTable1(context.Background(), m, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !res.MatchesPaper() {
 			t.Errorf("%s does not match the paper:\n%s", m.Name, res)
 		}

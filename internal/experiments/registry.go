@@ -316,6 +316,24 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
+// families groups experiment IDs by the subsystem they exercise: the
+// circuit-breaker scope. A systematic fault (a broken predictor model,
+// a broken covert harness) fails a whole family; the breaker skips the
+// family's remaining tasks instead of burning the rest of the suite on
+// it. IDs not listed here breaker-scope to themselves.
+var families = map[string]string{
+	"fig2": "bpu", "table1": "bpu",
+	"fig4": "pht", "fig5": "pht",
+	"fig6": "covert", "table2": "covert", "table3": "covert",
+	"smt": "covert", "predictors": "covert", "timingchannel": "covert",
+	"fsmwidth": "covert", "robustness": "covert",
+	"mitigations": "defense", "poisoning": "defense", "detection": "defense",
+	"fig7": "timing", "fig8": "timing", "fig9": "timing",
+	"montgomery": "applications", "jpeg": "applications", "aslr": "applications",
+	"ifconversion": "applications", "slidingwindow": "applications",
+	"btb": "baseline",
+}
+
 // Tasks adapts a slice of experiments to engine tasks for the runner.
 func Tasks(exps []Experiment) []engine.Task {
 	tasks := make([]engine.Task, len(exps))
@@ -324,6 +342,7 @@ func Tasks(exps []Experiment) []engine.Task {
 			ID:          e.ID,
 			Artifact:    e.Artifact,
 			Description: e.Description,
+			Family:      families[e.ID],
 			Run:         e.Run,
 		}
 	}

@@ -61,9 +61,19 @@ func (c RobustnessConfig) withDefaults() RobustnessConfig {
 	return c
 }
 
+// stormPMCProb is the per-episode PMC-corruption probability of the
+// storm scenario: half of all probe windows read garbage, far past the
+// health gate's trip threshold.
+const stormPMCProb = 0.5
+
 // RobustnessCell is one point of the sweep.
 type RobustnessCell struct {
-	// Probe is "pmc" or "tsc".
+	// Scenario is "" for the intensity×budget sweep and "storm" for the
+	// PMC-saturation-storm pair that exercises the health-gated
+	// degradation path.
+	Scenario string
+	// Probe is "pmc" or "tsc" — the probe the cell was configured with;
+	// a degraded storm cell starts on PMC and falls back to timing.
 	Probe string
 	// Intensity is the chaos multiplier of the cell's plan.
 	Intensity float64
@@ -82,6 +92,9 @@ type RobustnessCell struct {
 	// Recalibrations counts drift-triggered detector rebuilds (timing
 	// cells only).
 	Recalibrations int
+	// Degraded counts runs whose health gate fell back from PMC to
+	// timing probes (storm cells with the gate armed).
+	Degraded int
 }
 
 // RobustnessResult is the full sweep.
@@ -110,6 +123,9 @@ func (r RobustnessResult) String() string {
 	fmt.Fprintf(&b, "\n%-5s %-9s %-7s %8s %9s %12s %10s %6s\n",
 		"probe", "intensity", "budget", "error", "unknown", "wrong-known", "acc-known", "recal")
 	for _, c := range r.Cells {
+		if c.Scenario != "" {
+			continue
+		}
 		fmt.Fprintf(&b, "%-5s %-9.2f %-7s %7.2f%% %8.2f%% %11.2f%% %9.2f%% %6d\n",
 			c.Probe, c.Intensity, budgetLabel(c.Budget),
 			100*c.ErrorRate, 100*c.UnknownRate, 100*c.WrongKnownRate,
@@ -143,6 +159,27 @@ func (r RobustnessResult) String() string {
 		fmt.Fprintf(&b, "intensity %.2f: naive accuracy %.2f%%, resilient (budget %d) known-bit accuracy %.2f%% with %.2f%% unknown\n",
 			in, 100*(1-naive.ErrorRate), best, 100*resilient.KnownAccuracy, 100*resilient.UnknownRate)
 	}
+	// Storm mini-table: the same PMC probe under a saturation storm,
+	// with the health gate off vs armed.
+	storm := false
+	for _, c := range r.Cells {
+		if !strings.HasPrefix(c.Scenario, "storm") {
+			continue
+		}
+		if !storm {
+			fmt.Fprintf(&b, "PMC saturation storm (corrupt p=%.2f, naive loop):\n", stormPMCProb)
+			storm = true
+		}
+		gate := "off"
+		if c.Scenario == "storm+degrade" {
+			gate = "armed"
+			if c.Degraded > 0 {
+				gate = "tripped->tsc"
+			}
+		}
+		fmt.Fprintf(&b, "  health gate %-12s error %6.2f%%, degraded runs %d\n",
+			gate, 100*c.ErrorRate, c.Degraded)
+	}
 	return b.String()
 }
 
@@ -151,6 +188,7 @@ func (r RobustnessResult) Rows() []engine.Row {
 	rows := make([]engine.Row, 0, len(r.Cells))
 	for _, c := range r.Cells {
 		rows = append(rows, engine.Row{
+			engine.F("scenario", c.Scenario),
 			engine.F("probe", c.Probe),
 			engine.F("intensity", c.Intensity),
 			engine.F("budget", c.Budget),
@@ -159,6 +197,7 @@ func (r RobustnessResult) Rows() []engine.Row {
 			engine.F("wrong_known_rate", c.WrongKnownRate),
 			engine.F("known_accuracy", c.KnownAccuracy),
 			engine.F("recalibrations", c.Recalibrations),
+			engine.F("degraded_runs", c.Degraded),
 		})
 	}
 	return rows
@@ -166,10 +205,12 @@ func (r RobustnessResult) Rows() []engine.Row {
 
 // robustnessSpec identifies one cell of the sweep.
 type robustnessSpec struct {
+	scenario  string // "" for the sweep grid, "storm"/"storm+degrade"
 	probe     string
 	intensity float64
 	budget    int
 	bits      int
+	degrade   bool
 }
 
 // RunRobustness sweeps fault intensity × retry budget and reports the
@@ -203,6 +244,14 @@ func RunRobustness(ctx context.Context, cfg RobustnessConfig) (RobustnessResult,
 			}
 		}
 	}
+	// The storm pair: the naive PMC loop under a counter-saturation
+	// storm, without and with the health gate. The armed cell must trip
+	// the gate and recover on the timing fallback; the unarmed one rides
+	// the corrupted counters to the end.
+	specs = append(specs,
+		robustnessSpec{scenario: "storm", probe: "pmc", budget: 0, bits: cfg.Bits},
+		robustnessSpec{scenario: "storm+degrade", probe: "pmc", budget: 0, bits: cfg.Bits, degrade: true},
+	)
 	cells, err := engine.Map(ctx, len(specs), func(i int) (RobustnessCell, error) {
 		return runRobustnessCell(ctx, cfg, specs[i])
 	})
@@ -216,9 +265,14 @@ func RunRobustness(ctx context.Context, cfg RobustnessConfig) (RobustnessResult,
 // harness.
 func runRobustnessCell(ctx context.Context, cfg RobustnessConfig, sp robustnessSpec) (RobustnessCell, error) {
 	// The seed depends only on the cell's identity, never on sweep
-	// order — the engine determinism contract.
-	seed := engine.DeriveSeed(cfg.Seed, "robustness", sp.probe,
-		strconv.FormatFloat(sp.intensity, 'g', -1, 64), strconv.Itoa(sp.budget))
+	// order — the engine determinism contract. Sweep-grid cells keep
+	// their historical derivation; scenario cells fold the scenario in.
+	seedParts := []string{"robustness", sp.probe,
+		strconv.FormatFloat(sp.intensity, 'g', -1, 64), strconv.Itoa(sp.budget)}
+	if sp.scenario != "" {
+		seedParts = append(seedParts, sp.scenario)
+	}
+	seed := engine.DeriveSeed(cfg.Seed, seedParts...)
 	ccfg := CovertConfig{
 		Model:     cfg.Model,
 		Setting:   Isolated,
@@ -232,7 +286,19 @@ func runRobustnessCell(ctx context.Context, cfg RobustnessConfig, sp robustnessS
 	// inherit the process-wide defaults a -chaos/-retry flag installs,
 	// or its axes would be silently distorted.
 	plan := chaos.AtIntensity(engine.DeriveSeed(seed, "chaos"), sp.intensity)
+	if sp.scenario != "" {
+		// Storm cells replace the intensity ladder with a pure PMC
+		// saturation storm: nothing else is perturbed, so any error is
+		// attributable to the counters alone.
+		plan = chaos.Plan{
+			Seed:       engine.DeriveSeed(seed, "chaos"),
+			PMCCorrupt: chaos.Spec{Prob: stormPMCProb},
+		}
+	}
 	ccfg.Chaos = &plan
+	if sp.degrade {
+		ccfg.Degrade = core.DegradeConfig{MaxFaultRate: core.DefaultDegradeMaxFaultRate}
+	}
 	if sp.budget > 0 {
 		ccfg.Retry = core.RetryConfig{MaxAttempts: sp.budget}
 	} else {
@@ -246,11 +312,13 @@ func runRobustnessCell(ctx context.Context, cfg RobustnessConfig, sp robustnessS
 			sp.probe, sp.intensity, sp.budget, err)
 	}
 	cell := RobustnessCell{
+		Scenario:       sp.scenario,
 		Probe:          sp.probe,
 		Intensity:      sp.intensity,
 		Budget:         sp.budget,
 		ErrorRate:      res.ErrorRate,
 		Recalibrations: res.Recalibrations,
+		Degraded:       res.DegradedRuns,
 	}
 	bits := float64(sp.bits)
 	unknown := float64(res.Unknown)

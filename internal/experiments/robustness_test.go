@@ -22,11 +22,21 @@ func TestRobustnessAcceptance(t *testing.T) {
 	cell := func(probe string, intensity float64, budget int) RobustnessCell {
 		t.Helper()
 		for _, c := range res.Cells {
-			if c.Probe == probe && c.Intensity == intensity && c.Budget == budget {
+			if c.Scenario == "" && c.Probe == probe && c.Intensity == intensity && c.Budget == budget {
 				return c
 			}
 		}
 		t.Fatalf("sweep missing cell %s/%g/%d", probe, intensity, budget)
+		return RobustnessCell{}
+	}
+	scenario := func(name string) RobustnessCell {
+		t.Helper()
+		for _, c := range res.Cells {
+			if c.Scenario == name {
+				return c
+			}
+		}
+		t.Fatalf("sweep missing scenario cell %q", name)
 		return RobustnessCell{}
 	}
 
@@ -73,8 +83,28 @@ func TestRobustnessAcceptance(t *testing.T) {
 		t.Errorf("fault-free timing cell recalibrated %d times", tsc.Recalibrations)
 	}
 
+	// The PMC saturation storm: with the health gate off the naive loop
+	// rides corrupted counters to the end; with the gate armed the
+	// session must trip, fall back to timing probes, and recover.
+	stormOff := scenario("storm")
+	stormOn := scenario("storm+degrade")
+	if stormOff.Degraded != 0 {
+		t.Errorf("gate-off storm cell reported %d degraded runs", stormOff.Degraded)
+	}
+	if stormOn.Degraded < 1 {
+		t.Errorf("armed storm cell never tripped the health gate: %+v", stormOn)
+	}
+	if stormOn.ErrorRate >= stormOff.ErrorRate-0.05 {
+		t.Errorf("degradation did not recover the storm cell: gate on %.4f vs off %.4f",
+			stormOn.ErrorRate, stormOff.ErrorRate)
+	}
+
 	// The rendered table carries the summary lines the docs quote.
-	if s := res.String(); !strings.Contains(s, "resilient (budget 5) known-bit accuracy") {
+	s := res.String()
+	if !strings.Contains(s, "resilient (budget 5) known-bit accuracy") {
 		t.Errorf("summary line missing from:\n%s", s)
+	}
+	if !strings.Contains(s, "PMC saturation storm") || !strings.Contains(s, "tripped->tsc") {
+		t.Errorf("storm mini-table missing from:\n%s", s)
 	}
 }

@@ -21,7 +21,7 @@ type Table1Row struct {
 
 // Table1Result holds the eight rows for one model.
 type Table1Result struct {
-	Model string
+	Model   string
 	Entries []Table1Row
 }
 

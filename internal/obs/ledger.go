@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 
@@ -85,6 +88,42 @@ func (l *Ledger) Append(rec LedgerRecord) error {
 	defer l.mu.Unlock()
 	_, err = l.w.Write(data)
 	return err
+}
+
+// ReadLedger parses a branchscope.ledger/v1 JSONL stream. A ledger is
+// an append-only crash-safety artifact: a process killed mid-append
+// leaves a truncated final line behind, and that must not cost the
+// reader every record before it. A malformed line is therefore
+// tolerated — and reported via torn — if and only if nothing but blank
+// lines follows it; a malformed line in the middle of the stream is
+// real corruption and fails the parse.
+func ReadLedger(r io.Reader) (recs []LedgerRecord, torn bool, err error) {
+	sc := bufio.NewScanner(r)
+	// Records embed full metrics snapshots; lines run far past the
+	// default 64 KiB token limit.
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pending error // a bad line, fatal only if more content follows
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if pending != nil {
+			return nil, false, pending
+		}
+		var rec LedgerRecord
+		if uerr := json.Unmarshal(b, &rec); uerr != nil {
+			pending = fmt.Errorf("obs: ledger line %d: %w", line, uerr)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, false, fmt.Errorf("obs: reading ledger: %w", serr)
+	}
+	return recs, pending != nil, nil
 }
 
 // DeltaRecorder attributes registry deltas to tasks: Begin snapshots

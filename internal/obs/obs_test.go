@@ -226,3 +226,35 @@ func TestNilTrackerAndLogger(t *testing.T) {
 		t.Fatalf("valid logger rejected: %v", err)
 	}
 }
+
+// TestTrackerStuckAndReplayed pins the supervision surface of
+// /statusz: MarkStuck flips only running tasks to the advisory stuck
+// state (still counted as running), End overwrites it with the real
+// outcome, and replayed outcomes are tallied separately.
+func TestTrackerStuckAndReplayed(t *testing.T) {
+	tr := NewTracker("test", 1, true, []string{"a", "b", "c"})
+
+	tr.MarkStuck("a") // pending, not running: no-op
+	if s := tr.Status(); s.Stuck != 0 {
+		t.Errorf("pending task marked stuck: %+v", s)
+	}
+
+	tr.Begin("a", 7)
+	tr.MarkStuck("a")
+	s := tr.Status()
+	if s.Stuck != 1 || s.Running != 1 {
+		t.Errorf("stuck task must count as running+stuck, got running=%d stuck=%d", s.Running, s.Stuck)
+	}
+	if s.Tasks[0].State != "stuck" {
+		t.Errorf("task state = %q, want stuck", s.Tasks[0].State)
+	}
+
+	// The real outcome overwrites the advisory state.
+	tr.End("a", time.Millisecond, "ok", nil)
+	tr.Begin("b", 8)
+	tr.End("b", 0, "replayed", nil)
+	s = tr.Status()
+	if s.Stuck != 0 || s.Done != 2 || s.Replayed != 1 {
+		t.Errorf("after End: stuck=%d done=%d replayed=%d", s.Stuck, s.Done, s.Replayed)
+	}
+}

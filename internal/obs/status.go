@@ -11,7 +11,7 @@ const StatusSchema = "branchscope.statusz/v1"
 // TaskStatus is one task's live state in a Status document.
 type TaskStatus struct {
 	ID    string `json:"id"`
-	State string `json:"state"` // pending | running | done | failed
+	State string `json:"state"` // pending | running | stuck | done | failed
 	// Seed is the derived seed the task runs with (0 until it starts).
 	Seed uint64 `json:"seed,omitempty"`
 	// WallSeconds is the task's duration once finished, or its age so
@@ -22,6 +22,18 @@ type TaskStatus struct {
 	// grained than State, which only distinguishes done from failed.
 	Outcome string `json:"outcome,omitempty"`
 	Error   string `json:"error,omitempty"`
+}
+
+// BreakerStatus mirrors one family's circuit-breaker state for
+// /statusz. It deliberately duplicates the engine's shape instead of
+// importing it — obs stays a leaf the engine never depends on.
+type BreakerStatus struct {
+	Family string `json:"family"`
+	State  string `json:"state"` // closed | open
+	// ConsecutiveFailures is the current run of permanent failures.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Skipped counts tasks short-circuited while the breaker was open.
+	Skipped int `json:"skipped"`
 }
 
 // HistogramStatus summarizes one metrics histogram for /statusz.
@@ -39,18 +51,31 @@ type HistogramStatus struct {
 // identity. It deliberately lives outside the simulated machine — wall
 // clocks here never feed back into experiment results.
 type Status struct {
-	Schema        string       `json:"schema"`
-	Program       string       `json:"program"`
-	PID           int          `json:"pid"`
-	GoVersion     string       `json:"go"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	BaseSeed      uint64       `json:"base_seed"`
-	Quick         bool         `json:"quick"`
-	Pending       int          `json:"pending"`
-	Running       int          `json:"running"`
-	Done          int          `json:"done"`
-	Failed        int          `json:"failed"`
-	Tasks         []TaskStatus `json:"tasks"`
+	Schema        string  `json:"schema"`
+	Program       string  `json:"program"`
+	PID           int     `json:"pid"`
+	GoVersion     string  `json:"go"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	BaseSeed      uint64  `json:"base_seed"`
+	Quick         bool    `json:"quick"`
+	Pending       int     `json:"pending"`
+	Running       int     `json:"running"`
+	Done          int     `json:"done"`
+	Failed        int     `json:"failed"`
+	// Stuck counts tasks currently past their soft watchdog deadline
+	// (they also count as Running: stuck is advisory, not terminal).
+	Stuck int `json:"stuck,omitempty"`
+	// Replayed counts tasks whose outcome was reconstructed from a
+	// campaign journal instead of a fresh run (they also count as Done).
+	Replayed int          `json:"replayed,omitempty"`
+	Tasks    []TaskStatus `json:"tasks"`
+	// Breakers lists families with tripped-or-tripping circuit
+	// breakers; filled by the serving program, not the tracker.
+	Breakers []BreakerStatus `json:"breakers,omitempty"`
+	// DegradedProbes counts attack sessions whose health gate fell back
+	// from PMC to timing probing; filled by the serving program from
+	// the core.probe.degradations counter.
+	DegradedProbes uint64 `json:"degraded_probes,omitempty"`
 	// Histograms carries p50/p95/p99 summaries of the live metrics
 	// registry; filled by the obs server, not the tracker.
 	Histograms []HistogramStatus `json:"histograms,omitempty"`
@@ -113,6 +138,21 @@ func (t *Tracker) Begin(id string, seed uint64) {
 	t.started[id] = time.Now()
 }
 
+// MarkStuck flags a running task as past its soft watchdog deadline.
+// The state is advisory: End overwrites it with the task's real
+// outcome, and marking a task that is not currently running is a no-op
+// (the watchdog may race the task's own completion).
+func (t *Tracker) MarkStuck(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts := t.add(id); ts.State == "running" {
+		ts.State = "stuck"
+	}
+}
+
 // End marks a task done or failed. outcome is the engine's fine-grained
 // classification (Report.Outcome or OutcomeOf); empty derives it from
 // err, so callers without an engine report can pass "". A task whose
@@ -159,7 +199,7 @@ func (t *Tracker) Status() Status {
 	now := time.Now()
 	for _, id := range t.order {
 		ts := *t.tasks[id]
-		if ts.State == "running" {
+		if ts.State == "running" || ts.State == "stuck" {
 			ts.WallSeconds = now.Sub(t.started[id]).Seconds()
 		}
 		switch ts.State {
@@ -167,8 +207,14 @@ func (t *Tracker) Status() Status {
 			s.Pending++
 		case "running":
 			s.Running++
+		case "stuck":
+			s.Running++
+			s.Stuck++
 		case "done":
 			s.Done++
+			if ts.Outcome == "replayed" {
+				s.Replayed++
+			}
 		case "failed":
 			s.Failed++
 		}
