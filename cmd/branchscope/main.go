@@ -11,6 +11,7 @@
 //	            [-retry N]
 //	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
+//	            [-leakage-out lk.json] [-introspect-out pht.json]
 //	            [-log-format text|json] [-log-level info]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -22,11 +23,21 @@
 // ui.perfetto.dev. Both record simulated cycles only and are
 // byte-identical across runs with the same seed, and both are flushed
 // even when the run is interrupted by SIGINT. -serve exposes /metrics,
-// /statusz, /healthz, /readyz and /debug/pprof live during the run;
-// -ledger-out appends one branchscope.ledger/v1 provenance record for
-// the run (config, seed, outcome, error-rate digest, metrics delta).
-// -v additionally prints a metrics summary table with p50/p95/p99
-// cycle quantiles.
+// /leakage, /introspect/pht, /statusz, /healthz, /readyz and
+// /debug/pprof live during the run; -ledger-out appends one
+// branchscope.ledger/v1 provenance record for the run (config, seed,
+// outcome, error-rate digest, metrics delta, flattened leakage
+// gauges). -v additionally prints a metrics summary table with
+// p50/p95/p99 cycle quantiles.
+//
+// Leakage analytics (see internal/leakage and DESIGN §3.17): every run
+// streams per-window channel-quality estimates — BER, mutual
+// information and Blahut–Arimoto capacity in bits/branch, probe-signal
+// SNR, and the 3-outcome confusion matrix — and the summary line after
+// the error rate reports them. -leakage-out writes the final
+// branchscope.leakage/v1 report; -introspect-out writes the decoded
+// machine's predictor snapshot (per-entry 2-bit counter states and the
+// per-set mispredict heatmap) as branchscope.introspect/v1 JSON.
 //
 // Resilience (see DESIGN §3.15): -chaos attaches a deterministic fault
 // injector to the run; -retry N switches the spy to the resilient
@@ -233,6 +244,7 @@ func run() (code int) {
 		WallSeconds:  wall.Seconds(),
 		MetricsDelta: sess.Deltas.End("covert"),
 	}
+	rec.Leakage = obs.LeakageFields(rec.MetricsDelta)
 	if err != nil {
 		rec.Error = err.Error()
 		if lerr := sess.Ledger.Append(rec); lerr != nil {
@@ -263,6 +275,9 @@ func run() (code int) {
 		fmt.Printf("timing detector recalibrated %d time(s) after drift\n", res.Recalibrations)
 	}
 	fmt.Printf("average error rate: %.3f%%\n", 100*res.ErrorRate)
+	fmt.Printf("channel quality: BER %.4f, MI %.3f bits/branch, capacity %.3f bits/branch, SNR %.3f\n",
+		res.Leakage.BitErrorRate, res.Leakage.MutualInformationBits,
+		res.Leakage.CapacityBits, res.Leakage.SNR)
 	if *traced {
 		for i, rec := range recorders {
 			s := rec.Summary()

@@ -12,6 +12,7 @@
 //	            [-list] [-check] [-md out.md] [-json out.json]
 //	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
+//	            [-leakage-out lk.json] [-introspect-out pht.json]
 //	            [-log-format text|json] [-log-level info]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [id ...]
 //
@@ -62,10 +63,23 @@
 // /statusz (task progress JSON), /healthz, /readyz, /debug/pprof —
 // and never perturbs stdout. -ledger-out appends one
 // branchscope.ledger/v1 JSONL provenance record per task: config,
-// seeds, outcome, wall time, result digest, and the task's metrics
-// delta. -metrics-out/-trace-out write the registry and the Perfetto
-// trace at exit (trace requires -parallel 1, where one experiment owns
-// the span timeline at a time).
+// seeds, outcome, wall time, result digest, the task's metrics
+// delta, and any leakage gauges the task moved (flattened
+// channel-quality fields). -metrics-out/-trace-out write the registry
+// and the Perfetto trace at exit (trace requires -parallel 1, where
+// one experiment owns the span timeline at a time).
+//
+// Leakage analytics (see internal/leakage and DESIGN §3.17): covert
+// measurements stream per-window channel-quality estimates — BER,
+// mutual information and Blahut–Arimoto capacity in bits/branch, and
+// probe-signal SNR — into the leakage.* metric family. -serve adds
+// /leakage (the leakage.* family as Prometheus text) and
+// /introspect/pht (the last published predictor snapshot: per-entry
+// 2-bit counter states plus a per-set mispredict heatmap, canonical
+// JSON); -leakage-out and -introspect-out write the final channel
+// report and predictor snapshot at exit. The live endpoints are
+// last-writer-wins diagnostics under -parallel; the per-cell numbers
+// in reports and ledger records stay deterministic.
 package main
 
 import (
@@ -316,6 +330,7 @@ func run() (code int) {
 				// WallSeconds is the one nondeterministic ledger field.
 				WallSeconds:  rep.Wall.Seconds(),
 				MetricsDelta: delta,
+				Leakage:      obs.LeakageFields(delta),
 			}
 			if rep.Err != nil {
 				rec.Error = rep.Err.Error()

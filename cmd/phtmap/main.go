@@ -10,6 +10,7 @@
 //	       [-chaos light|moderate|heavy|FLOAT|JSON] [-chaos-seed 0]
 //	       [-serve addr] [-ledger-out l.jsonl]
 //	       [-metrics-out m.json] [-trace-out t.json]
+//	       [-introspect-out pht.json]
 //	       [-log-format text|json] [-log-level info]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -20,6 +21,13 @@
 // /metrics, /statusz, /healthz, /readyz and /debug/pprof live during
 // the run; -ledger-out appends one branchscope.ledger/v1 provenance
 // record with the run's config, seed, outcome and result digest.
+//
+// Predictor introspection (see DESIGN §3.17): after the mapping pass
+// RunFig5 publishes the decoded machine's BPU snapshot — per-entry
+// 2-bit counter states, state census, and the per-set mispredict
+// heatmap — so /introspect/pht serves it live and -introspect-out
+// writes it at exit as canonical branchscope.introspect/v1 JSON. This
+// is Figure 5a's raw material seen from the predictor's side.
 //
 // Resilience (see DESIGN §3.15): -chaos attaches the deterministic
 // fault injector in self-clocked mode — the mapper has no episode
@@ -170,6 +178,7 @@ func run() (code int) {
 		WallSeconds:  wall.Seconds(),
 		MetricsDelta: sess.Deltas.End("fig5"),
 	}
+	rec.Leakage = obs.LeakageFields(rec.MetricsDelta)
 	if err != nil {
 		rec.Error = err.Error()
 		if lerr := sess.Ledger.Append(rec); lerr != nil {

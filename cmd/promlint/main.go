@@ -1,0 +1,29 @@
+// Command promlint validates a Prometheus text-format exposition read
+// from stdin against the same grammar internal/telemetry/promtext
+// emits: HELP/TYPE preceding every family, parseable samples,
+// cumulative histogram buckets closed by an le="+Inf" bucket equal to
+// _count, and a non-empty exposition. CI pipes the /metrics and
+// /leakage scrapes of a live -serve session through it so a formatting
+// regression fails the build rather than a downstream scraper.
+//
+// Usage:
+//
+//	some-scrape | promlint
+//
+// Exit status 0 when the exposition lints clean, 1 with the first
+// violation on stderr otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"branchscope/internal/telemetry/promtext"
+)
+
+func main() {
+	if err := promtext.Lint(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}

@@ -193,6 +193,14 @@ type Unit struct {
 	ghrMask  uint64
 	tags     []tagEntry
 	btb      []btbEntry
+
+	// Introspection diagnostics (not architectural state): lifetime
+	// commit/mispredict counts and a coarse per-set mispredict heatmap.
+	// Deliberately excluded from Snapshot/Restore — the PHT mapper's
+	// memoized replays must not rewind monotonic diagnostics.
+	commits     uint64
+	mispredicts uint64
+	heat        []uint64
 }
 
 // New constructs a Unit from cfg. It panics if cfg is invalid: a broken
@@ -209,6 +217,7 @@ func New(cfg Config) *Unit {
 		ghrMask:  (uint64(1) << uint(cfg.GHRBits)) - 1,
 		tags:     make([]tagEntry, cfg.TagEntries),
 		btb:      make([]btbEntry, cfg.BTBEntries),
+		heat:     make([]uint64, heatSets(cfg.PHTSize)),
 	}
 	if cfg.Mitigation == MitigationStochasticFSM {
 		u.pht.SetStochastic(cfg.StochasticP, rng.New(cfg.mitigationSeed+0x5eed))
@@ -254,6 +263,10 @@ func (u *Unit) Reset() {
 	}
 	for i := range u.btb {
 		u.btb[i] = btbEntry{}
+	}
+	u.commits, u.mispredicts = 0, 0
+	for i := range u.heat {
+		u.heat[i] = 0
 	}
 }
 
@@ -393,6 +406,15 @@ func (u *Unit) Commit(l Lookup, taken bool, target uint64) (allocated bool) {
 		// BPU structures after such branches are executed"). The BTB is
 		// also left untouched.
 		return false
+	}
+	u.commits++
+	if l.Taken != taken {
+		u.mispredicts++
+		idx := l.bimodalIdx
+		if l.UsedGshare {
+			idx = l.gshareIdx
+		}
+		u.heat[idx*len(u.heat)/u.cfg.PHTSize]++
 	}
 	switch u.cfg.Mode {
 	case BimodalOnly:

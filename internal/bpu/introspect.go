@@ -1,0 +1,51 @@
+package bpu
+
+import "branchscope/internal/pht"
+
+// heatSets returns the mispredict-heatmap resolution for a PHT of the
+// given size: one set per entry for small tables, at most 64 coarse
+// sets for realistic ones (16384 entries → 256 entries per set). The
+// bound keeps introspection snapshots a constant, scrape-friendly
+// size regardless of the configured table.
+func heatSets(phtSize int) int {
+	if phtSize < 64 {
+		return phtSize
+	}
+	return 64
+}
+
+// Introspection is a canonical-JSON snapshot of the predictor's
+// internal state and lifetime diagnostics: the configuration facets
+// that shape behaviour, the full per-entry PHT counter state, and the
+// per-set mispredict heatmap. It is a self-contained deep copy.
+type Introspection struct {
+	Mode       string `json:"mode"`
+	Mitigation string `json:"mitigation"`
+	PHTSize    int    `json:"pht_size"`
+	GHR        uint64 `json:"ghr"`
+	// Commits and Mispredicts count committed (non-static) branches
+	// and direction mispredictions over the unit's lifetime (reset by
+	// Reset, not by Snapshot/Restore replays).
+	Commits     uint64 `json:"commits"`
+	Mispredicts uint64 `json:"mispredicts"`
+	// PHT is the per-entry 2-bit counter state.
+	PHT pht.Introspection `json:"pht"`
+	// Heatmap counts mispredictions per contiguous PHT set (the
+	// entry range [i*PHTSize/len, (i+1)*PHTSize/len) maps to set i).
+	Heatmap []uint64 `json:"mispredict_heatmap"`
+}
+
+// Introspect captures the unit's current state for the /introspect/pht
+// endpoint and -introspect-out exports.
+func (u *Unit) Introspect() Introspection {
+	return Introspection{
+		Mode:        u.cfg.Mode.String(),
+		Mitigation:  u.cfg.Mitigation.String(),
+		PHTSize:     u.cfg.PHTSize,
+		GHR:         u.ghr,
+		Commits:     u.commits,
+		Mispredicts: u.mispredicts,
+		PHT:         u.pht.Introspect(),
+		Heatmap:     append([]uint64(nil), u.heat...),
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"branchscope/internal/chaos"
 	"branchscope/internal/core"
 	"branchscope/internal/engine"
+	"branchscope/internal/leakage"
 	"branchscope/internal/obs"
 	"branchscope/internal/telemetry"
 )
@@ -39,10 +40,16 @@ type Flags struct {
 	TraceOut   string
 	Serve      string
 	LedgerOut  string
-	LogFormat  string
-	LogLevel   string
-	CPUProfile string
-	MemProfile string
+	// LeakageOut/IntrospectOut export the last published channel-
+	// quality report and predictor snapshot at Close. Under a parallel
+	// suite the live slots are last-writer-wins; the deterministic
+	// per-cell values live in the report rows and the ledger.
+	LeakageOut    string
+	IntrospectOut string
+	LogFormat     string
+	LogLevel      string
+	CPUProfile    string
+	MemProfile    string
 	// Chaos/ChaosSeed/Retry are the shared resilience surface: a
 	// deterministic fault-injection plan and the resilient attack
 	// loop's per-bit attempt budget. See ChaosPlan and RetryConfig.
@@ -63,8 +70,10 @@ type Flags struct {
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write telemetry metrics as JSON to this file")
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Perfetto-loadable Chrome trace JSON to this file")
-	fs.StringVar(&f.Serve, "serve", "", "serve live observability endpoints (/metrics, /statusz, /healthz, /readyz, /debug/pprof) on this address during the run (e.g. :8080 or 127.0.0.1:0)")
+	fs.StringVar(&f.Serve, "serve", "", "serve live observability endpoints (/metrics, /leakage, /introspect/pht, /statusz, /healthz, /readyz, /debug/pprof) on this address during the run (e.g. :8080 or 127.0.0.1:0)")
 	fs.StringVar(&f.LedgerOut, "ledger-out", "", "append one branchscope.ledger/v1 JSONL provenance record per completed task to this file")
+	fs.StringVar(&f.LeakageOut, "leakage-out", "", "write the last published channel-quality report (branchscope.leakage/v1 JSON) to this file")
+	fs.StringVar(&f.IntrospectOut, "introspect-out", "", "write the last published predictor introspection snapshot (branchscope.introspect/v1 JSON) to this file")
 	fs.StringVar(&f.LogFormat, "log-format", "text", "structured stderr log format: text or json")
 	fs.StringVar(&f.LogLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
@@ -234,11 +243,12 @@ func NewSession(prog string, f Flags, o Options) (*Session, error) {
 	}
 	if f.Serve != "" {
 		srv := &obs.Server{
-			Program: prog,
-			Metrics: s.Metrics,
-			Status:  o.Status,
-			Ready:   o.Ready,
-			Log:     log,
+			Program:    prog,
+			Metrics:    s.Metrics,
+			Status:     o.Status,
+			Ready:      o.Ready,
+			Introspect: leakage.LatestIntrospection,
+			Log:        log,
 		}
 		h, err := srv.Start(f.Serve)
 		if err != nil {
@@ -248,7 +258,7 @@ func NewSession(prog string, f Flags, o Options) (*Session, error) {
 		}
 		s.server = h
 		log.Info("observability server listening",
-			"addr", h.Addr(), "endpoints", "/metrics /statusz /healthz /readyz /debug/pprof")
+			"addr", h.Addr(), "endpoints", "/metrics /leakage /introspect/pht /statusz /healthz /readyz /debug/pprof")
 	}
 	return s, nil
 }
@@ -299,6 +309,23 @@ func (s *Session) Close() error {
 			errs = append(errs, fmt.Errorf("writing trace: %w", err))
 		} else {
 			s.Log.Info("trace written", "path", s.flags.TraceOut, "viewer", "ui.perfetto.dev")
+		}
+	}
+	if s.flags.LeakageOut != "" {
+		if err := WriteFile(s.flags.LeakageOut, leakage.WriteLatestReport); err != nil {
+			errs = append(errs, fmt.Errorf("writing leakage report: %w", err))
+		} else {
+			s.Log.Info("leakage report written", "path", s.flags.LeakageOut, "schema", leakage.Schema)
+		}
+	}
+	if s.flags.IntrospectOut != "" {
+		write := func(w io.Writer) error {
+			return obs.WriteIntrospection(w, leakage.LatestIntrospection())
+		}
+		if err := WriteFile(s.flags.IntrospectOut, write); err != nil {
+			errs = append(errs, fmt.Errorf("writing introspection snapshot: %w", err))
+		} else {
+			s.Log.Info("introspection snapshot written", "path", s.flags.IntrospectOut, "schema", obs.IntrospectSchema)
 		}
 	}
 	if s.ledgerFile != nil {

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -16,6 +17,7 @@ import (
 	"branchscope/internal/engine"
 	"branchscope/internal/obs"
 	"branchscope/internal/telemetry"
+	"branchscope/internal/telemetry/promtext"
 )
 
 // TestFlagRegistrationParity pins the shared flag surface: every CLI
@@ -28,6 +30,7 @@ func TestFlagRegistrationParity(t *testing.T) {
 	f.Register(fs)
 	want := []string{
 		"metrics-out", "trace-out", "serve", "ledger-out",
+		"leakage-out", "introspect-out",
 		"log-format", "log-level", "cpuprofile", "memprofile",
 		"chaos", "chaos-seed", "retry",
 		"checkpoint", "resume", "watchdog", "breaker",
@@ -218,6 +221,42 @@ func TestSessionServeLifecycle(t *testing.T) {
 		t.Fatalf("server not reachable at %s: %v", addr, err)
 	}
 	resp.Body.Close()
+
+	// /leakage must serve a lint-clean exposition even before any
+	// window has been observed (the comment-only degenerate case).
+	resp, err = http.Get("http://" + addr + "/leakage")
+	if err != nil {
+		t.Fatalf("GET /leakage: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := promtext.Lint(bytes.NewReader(body)); err != nil {
+		t.Errorf("/leakage fails exposition lint: %v\n%s", err, body)
+	}
+
+	// /introspect/pht must serve a schema-stamped JSON document.
+	resp, err = http.Get("http://" + addr + "/introspect/pht")
+	if err != nil {
+		t.Fatalf("GET /introspect/pht: %v", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/introspect/pht is not JSON: %v\n%s", err, body)
+	}
+	if doc.Schema != obs.IntrospectSchema {
+		t.Errorf("/introspect/pht schema = %q, want %q", doc.Schema, obs.IntrospectSchema)
+	}
+
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}

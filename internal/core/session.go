@@ -31,6 +31,26 @@ type AttackConfig struct {
 	// degrade.go). The zero value disables it. Ignored on sessions that
 	// already probe with timing (UseTiming).
 	Degrade DegradeConfig
+	// EpisodeHook, when non-nil, receives one EpisodeObservation per
+	// prime–step–probe episode, immediately after the probe. It feeds
+	// the leakage estimators' raw-signal (SNR) path; keep it cheap and
+	// non-blocking — it runs inside the episode loop.
+	EpisodeHook func(EpisodeObservation)
+}
+
+// EpisodeObservation is the per-episode raw measurement handed to
+// AttackConfig.EpisodeHook: the decoded pattern plus the underlying
+// probe signal (first/second probe rdtscp latencies on timing
+// sessions, PMC deltas across the two probe branches otherwise).
+type EpisodeObservation struct {
+	// Pattern is the decoded observation pattern of the episode.
+	Pattern Pattern
+	// First and Second are the raw per-probe signals: rdtscp latencies
+	// when Timing, branch-mispredict PMC deltas (saturating, since a
+	// faulty PMC under chaos can read backwards) when not.
+	First, Second uint64
+	// Timing reports which signal source produced First/Second.
+	Timing bool
 }
 
 // DefaultTimingCalibrationReps is the documented default calibration
@@ -66,6 +86,10 @@ type Session struct {
 	healthProbes int
 	healthFaults int
 	degraded     bool
+
+	// lastObs carries the raw probe signal from Probe to emitEpisode
+	// for the episode hook (see AttackConfig.EpisodeHook).
+	lastObs EpisodeObservation
 }
 
 // sessionTel caches the per-session telemetry handles (nil when the
@@ -196,11 +220,43 @@ func (s *Session) Prime() {
 func (s *Session) Probe() Pattern {
 	if s.cfg.UseTiming || s.degraded {
 		sample := ProbeTSC(s.spy, s.cfg.Search.TargetAddr, true)
+		s.noteProbe(sample.First, sample.Second, true)
 		return MakePattern(s.detector.Miss(sample.First), s.detector.Miss(sample.Second))
 	}
 	m0, m1, m2 := ProbePMCReadings(s.spy, s.cfg.Search.TargetAddr, true)
 	s.observePMCHealth(m0, m1, m2)
+	s.noteProbe(satSub(m1, m0), satSub(m2, m1), false)
 	return MakePattern(m1 > m0, m2 > m1)
+}
+
+// noteProbe stashes the raw probe signal of the in-flight episode for
+// the episode hook. It only spends work when a hook is installed.
+func (s *Session) noteProbe(first, second uint64, timing bool) {
+	if s.cfg.EpisodeHook == nil {
+		return
+	}
+	s.lastObs = EpisodeObservation{First: first, Second: second, Timing: timing}
+}
+
+// emitEpisode delivers the finished episode to the hook, attaching the
+// decoded pattern to the signal noteProbe stashed.
+func (s *Session) emitEpisode(p Pattern) {
+	if s.cfg.EpisodeHook == nil {
+		return
+	}
+	obs := s.lastObs
+	obs.Pattern = p
+	s.cfg.EpisodeHook(obs)
+}
+
+// satSub is a saturating subtraction: chaos-faulted PMC readouts can
+// move backwards, and a wrapped uint64 delta would poison the signal
+// statistics.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
 }
 
 // Stepper lets the attacker run the victim for an exact number of
@@ -238,7 +294,9 @@ func (s *Session) episode(victim Stepper, before, after func()) Pattern {
 		if after != nil {
 			after()
 		}
-		return s.Probe()
+		p := s.Probe()
+		s.emitEpisode(p)
+		return p
 	}
 	clk := s.spy.Core()
 	t0 := clk.Clock()
@@ -255,5 +313,6 @@ func (s *Session) episode(victim Stepper, before, after func()) Pattern {
 	p := s.Probe()
 	t3 := clk.Clock()
 	s.tel.observeEpisode(t0, t1, t2, t3, p, DecodeBit(p))
+	s.emitEpisode(p)
 	return p
 }

@@ -9,6 +9,7 @@ import (
 	"branchscope/internal/core"
 	"branchscope/internal/cpu"
 	"branchscope/internal/engine"
+	"branchscope/internal/leakage"
 	"branchscope/internal/noise"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
@@ -194,6 +195,11 @@ type CovertResult struct {
 	// Config.Degrade arms the gate) — the report-side audit trail of a
 	// degraded measurement.
 	DegradedRuns int
+	// Leakage is the cell's channel-quality report: BER, mutual
+	// information and capacity in bits/branch, SNR, and the 3-outcome
+	// confusion matrix, merged over all runs (one leakage window per
+	// run). Deterministic per seed like every other field.
+	Leakage leakage.Report
 }
 
 // String implements fmt.Stringer.
@@ -215,6 +221,10 @@ func (r CovertResult) Rows() []engine.Row {
 		engine.F("setup_failed", r.SetupFailed),
 		engine.F("unknown_bits", r.Unknown),
 		engine.F("degraded_runs", r.DegradedRuns),
+		engine.F("bit_error_rate", r.Leakage.BitErrorRate),
+		engine.F("mutual_information_bits", r.Leakage.MutualInformationBits),
+		engine.F("capacity_bits", r.Leakage.CapacityBits),
+		engine.F("snr", r.Leakage.SNR),
 	}}
 }
 
@@ -263,19 +273,44 @@ func RunCovert(ctx context.Context, cfg CovertConfig) (CovertResult, error) {
 	}
 	root := rng.New(cfg.Seed ^ 0xc0de)
 	res := CovertResult{Config: cfg}
+	est := &leakage.Estimator{}
 	for run := 0; run < cfg.Runs; run++ {
-		rate, err := runCovertOnce(ctx, cfg, root.Split(), &res)
+		rate, err := runCovertOnce(ctx, cfg, root.Split(), &res, est)
 		if err != nil {
 			return CovertResult{}, fmt.Errorf("experiments: covert run %d: %w", run, err)
 		}
 		res.PerRun = append(res.PerRun, rate)
 	}
 	res.ErrorRate = stats.Mean(res.PerRun)
+	res.Leakage = est.Report()
 	cfg.Telemetry.Gauge("covert.error_rate").Set(res.ErrorRate)
+	cfg.Telemetry.Gauge("leakage.ber").Set(res.Leakage.BitErrorRate)
+	cfg.Telemetry.Gauge("leakage.mi_bits").Set(res.Leakage.MutualInformationBits)
+	cfg.Telemetry.Gauge("leakage.capacity_bits").Set(res.Leakage.CapacityBits)
+	cfg.Telemetry.Gauge("leakage.snr").Set(res.Leakage.SNR)
+	leakage.PublishReport(res.Leakage)
 	return res, nil
 }
 
-func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *CovertResult) (float64, error) {
+// leakageWindowBuckets covers [0, 1000] permille/millibit values in 20
+// linear steps — window BER and MI both live on bounded [0,1] scales.
+func leakageWindowBuckets() []uint64 { return telemetry.LinearBuckets(50, 50, 20) }
+
+// finishWindow closes one run's leakage window: it feeds the window
+// histograms, bumps the window counter, and merges the window into the
+// cell estimator.
+func finishWindow(tel *telemetry.Set, est, win *leakage.Estimator) {
+	wr := win.Report()
+	if wr.Bits == 0 {
+		return
+	}
+	tel.Counter("leakage.windows").Inc()
+	tel.Histogram("leakage.window.ber_permille", leakageWindowBuckets()).Observe(uint64(wr.BitErrorRate * 1000))
+	tel.Histogram("leakage.window.mi_millibits", leakageWindowBuckets()).Observe(uint64(wr.MutualInformationBits * 1000))
+	est.Merge(win)
+}
+
+func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *CovertResult, est *leakage.Estimator) (float64, error) {
 	tel := cfg.Telemetry
 	sys := sched.NewSystem(cfg.Model, r.Uint64())
 	if tel != nil {
@@ -341,11 +376,21 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 	if cfg.SpyHook != nil {
 		cfg.SpyHook(spy)
 	}
+	// One leakage window per run: the episode hook feeds the raw probe
+	// signal (SNR path) under the bit being transmitted, the decode
+	// loops below feed the confusion matrix.
+	win := &leakage.Estimator{}
 	sess, err := core.NewSession(spy, r.Split(), core.AttackConfig{
 		Search:    core.SearchConfig{TargetAddr: victims.SecretBranchAddr, Focused: true},
 		UseTiming: cfg.UseTiming,
 		Retry:     cfg.Retry,
 		Degrade:   cfg.Degrade,
+		EpisodeHook: func(o core.EpisodeObservation) {
+			// The second probe measurement carries the discriminating
+			// signal (the decode dictionary splits on it: MM/HM → 0,
+			// MH/HH → 1), so it is what the SNR is computed over.
+			win.Signal(secret[cursor], float64(o.Second))
+		},
 	})
 	if err != nil {
 		// The channel could not be established: the attacker is
@@ -354,6 +399,10 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 		tel.Counter("covert.setup_failures").Inc()
 		return 0.5, nil
 	}
+	// Snapshot the predictor on the way out, whatever path returns: the
+	// end-of-run PHT state and mispredict heatmap feed /introspect/pht
+	// and the -introspect-out export.
+	defer func() { leakage.PublishIntrospection(sys.Core().BPU().Introspect()) }()
 
 	// Fault injection starts here — after the pre-attack search and
 	// timing calibration — and wraps the victim with the plan's
@@ -378,11 +427,13 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 			}
 			cursor = i // no-op for the free-running sender
 			got[i] = sess.SpyBit(victim, before, after)
+			win.Observe(secret[i], got[i], true)
 		}
 		if sess.Degraded() {
 			res.DegradedRuns++
 			tel.Counter("covert.degraded_runs").Inc()
 		}
+		finishWindow(tel, est, win)
 		return stats.ErrorRate(got, secret), nil
 	}
 
@@ -399,6 +450,7 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 		}
 		cursor = i
 		rd := sess.ReadBit(victim, before, after)
+		win.Observe(secret[i], rd.Bit, rd.Known)
 		switch {
 		case !rd.Known:
 			res.Unknown++
@@ -413,6 +465,7 @@ func runCovertOnce(ctx context.Context, cfg CovertConfig, r *rng.Source, res *Co
 		res.DegradedRuns++
 		tel.Counter("covert.degraded_runs").Inc()
 	}
+	finishWindow(tel, est, win)
 	return errSum / float64(len(secret)), nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"branchscope/internal/core"
 	"branchscope/internal/engine"
+	"branchscope/internal/leakage"
 	"branchscope/internal/rng"
 	"branchscope/internal/sched"
 	"branchscope/internal/uarch"
@@ -107,6 +108,10 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 	spy := sys.NewProcess("spy")
 	mapper := core.NewMapper(sys.Core(), spy, r.Split())
 	states := mapper.MapStates(cfg.Start, cfg.Addresses, cfg.BlockBranches)
+	// The post-mapping PHT holds the decoded probing window's state —
+	// exactly what Figure 5a visualizes — so publish it for the
+	// /introspect/pht endpoint and cmd/phtmap's -introspect-out export.
+	leakage.PublishIntrospection(sys.Core().BPU().Introspect())
 	if err := ctx.Err(); err != nil {
 		return Fig5Result{}, fmt.Errorf("experiments: fig5: %w", err)
 	}

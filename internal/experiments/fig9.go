@@ -105,7 +105,9 @@ func RunFig9(ctx context.Context, cfg Fig9Config) (Fig9Result, error) {
 	states := []core.StateClass{core.StateST, core.StateWT, core.StateWN, core.StateSN}
 	for _, probeTaken := range []bool{false, true} {
 		for _, st := range states {
-			var first, second []uint64
+			// Streaming moments (see fig7.go): two fixed-size
+			// accumulators replace two cfg.Samples-long buffers.
+			var first, second stats.Welford
 			for i := 0; i < cfg.Samples; i++ {
 				if i%4096 == 0 {
 					if err := ctx.Err(); err != nil {
@@ -117,15 +119,15 @@ func RunFig9(ctx context.Context, cfg Fig9Config) (Fig9Result, error) {
 					hw.Branch(addr+aliasStride, dir)
 				}
 				sample := core.ProbeTSC(hw, addr, probeTaken)
-				first = append(first, sample.First)
-				second = append(second, sample.Second)
+				first.Add(float64(sample.First))
+				second.Add(float64(sample.Second))
 			}
 			res.Cells = append(res.Cells, Fig9Cell{
 				State:      st,
 				ProbeTaken: probeTaken,
 				Expected:   fig9Expected(st, probeTaken),
-				First:      stats.SummarizeUint64(first),
-				Second:     stats.SummarizeUint64(second),
+				First:      first.Summary(),
+				Second:     second.Summary(),
 			})
 		}
 	}

@@ -95,6 +95,12 @@ type RobustnessCell struct {
 	// Degraded counts runs whose health gate fell back from PMC to
 	// timing probes (storm cells with the gate armed).
 	Degraded int
+	// MutualInformationBits and CapacityBits are the cell's channel-
+	// quality estimates in bits/branch (see internal/leakage): what the
+	// degraded channel still carries, which is how the mitigation
+	// literature scores residual leakage.
+	MutualInformationBits float64
+	CapacityBits          float64
 }
 
 // RobustnessResult is the full sweep.
@@ -120,16 +126,17 @@ func (r RobustnessResult) String() string {
 	if r.Config.TimingBits > 0 {
 		fmt.Fprintf(&b, ", %d bits/tsc cell", r.Config.TimingBits)
 	}
-	fmt.Fprintf(&b, "\n%-5s %-9s %-7s %8s %9s %12s %10s %6s\n",
-		"probe", "intensity", "budget", "error", "unknown", "wrong-known", "acc-known", "recal")
+	fmt.Fprintf(&b, "\n%-5s %-9s %-7s %8s %9s %12s %10s %6s %8s %8s\n",
+		"probe", "intensity", "budget", "error", "unknown", "wrong-known", "acc-known", "recal", "mi", "capacity")
 	for _, c := range r.Cells {
 		if c.Scenario != "" {
 			continue
 		}
-		fmt.Fprintf(&b, "%-5s %-9.2f %-7s %7.2f%% %8.2f%% %11.2f%% %9.2f%% %6d\n",
+		fmt.Fprintf(&b, "%-5s %-9.2f %-7s %7.2f%% %8.2f%% %11.2f%% %9.2f%% %6d %8.3f %8.3f\n",
 			c.Probe, c.Intensity, budgetLabel(c.Budget),
 			100*c.ErrorRate, 100*c.UnknownRate, 100*c.WrongKnownRate,
-			100*c.KnownAccuracy, c.Recalibrations)
+			100*c.KnownAccuracy, c.Recalibrations,
+			c.MutualInformationBits, c.CapacityBits)
 	}
 	// Recovered-accuracy summary: naive vs the deepest budget, per
 	// intensity, on the PMC probe.
@@ -198,6 +205,8 @@ func (r RobustnessResult) Rows() []engine.Row {
 			engine.F("known_accuracy", c.KnownAccuracy),
 			engine.F("recalibrations", c.Recalibrations),
 			engine.F("degraded_runs", c.Degraded),
+			engine.F("mutual_information_bits", c.MutualInformationBits),
+			engine.F("capacity_bits", c.CapacityBits),
 		})
 	}
 	return rows
@@ -312,13 +321,15 @@ func runRobustnessCell(ctx context.Context, cfg RobustnessConfig, sp robustnessS
 			sp.probe, sp.intensity, sp.budget, err)
 	}
 	cell := RobustnessCell{
-		Scenario:       sp.scenario,
-		Probe:          sp.probe,
-		Intensity:      sp.intensity,
-		Budget:         sp.budget,
-		ErrorRate:      res.ErrorRate,
-		Recalibrations: res.Recalibrations,
-		Degraded:       res.DegradedRuns,
+		Scenario:              sp.scenario,
+		Probe:                 sp.probe,
+		Intensity:             sp.intensity,
+		Budget:                sp.budget,
+		ErrorRate:             res.ErrorRate,
+		Recalibrations:        res.Recalibrations,
+		Degraded:              res.DegradedRuns,
+		MutualInformationBits: res.Leakage.MutualInformationBits,
+		CapacityBits:          res.Leakage.CapacityBits,
 	}
 	bits := float64(sp.bits)
 	unknown := float64(res.Unknown)

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// IntrospectSchema versions the /introspect/pht JSON document.
+const IntrospectSchema = "branchscope.introspect/v1"
+
+// introspectDoc wraps a predictor snapshot for serving/export. The
+// snapshot is whatever the simulator published (a bpu.Introspection in
+// practice); obs carries it opaquely to stay a leaf package.
+type introspectDoc struct {
+	Schema    string `json:"schema"`
+	Available bool   `json:"available"`
+	Snapshot  any    `json:"snapshot,omitempty"`
+}
+
+// WriteIntrospection writes a predictor introspection snapshot as an
+// indented, schema-stamped JSON document — the /introspect/pht body
+// and the -introspect-out file format. A nil snapshot yields a valid
+// document with "available": false.
+func WriteIntrospection(w io.Writer, snapshot any) error {
+	doc := introspectDoc{Schema: IntrospectSchema, Available: snapshot != nil, Snapshot: snapshot}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

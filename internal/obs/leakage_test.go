@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"branchscope/internal/telemetry"
+	"branchscope/internal/telemetry/promtext"
+)
+
+// TestLeakageEndpoint covers both sides of the /leakage contract: an
+// empty registry serves a lint-clean comment-only exposition (an empty
+// body would fail promtext.Lint), and a populated one serves exactly
+// the leakage-prefixed subset.
+func TestLeakageEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("core.episodes").Add(100) // must NOT leak into /leakage
+	s := &Server{Program: "test", Metrics: reg}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/leakage")
+	if code != 200 {
+		t.Fatalf("/leakage = %d", code)
+	}
+	if err := promtext.Lint(strings.NewReader(body)); err != nil {
+		t.Errorf("empty /leakage fails lint: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "no windows observed") {
+		t.Errorf("empty /leakage body = %q", body)
+	}
+
+	reg.Gauge("leakage.ber").Set(0.0125)
+	reg.Gauge("leakage.mi_bits").Set(0.91)
+	reg.Counter("leakage.windows").Add(3)
+	reg.Histogram("leakage.window.ber_permille", telemetry.LinearBuckets(50, 50, 20)).Observe(12)
+
+	code, body = get(t, srv, "/leakage")
+	if code != 200 {
+		t.Fatalf("/leakage = %d", code)
+	}
+	if err := promtext.Lint(strings.NewReader(body)); err != nil {
+		t.Errorf("/leakage fails lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{"leakage_ber 0.0125", "leakage_windows_total 3", "leakage_window_ber_permille_bucket"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/leakage missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "core_episodes") {
+		t.Errorf("/leakage leaked non-leakage metrics:\n%s", body)
+	}
+}
+
+// TestIntrospectEndpoint: without a provider the endpoint stays a
+// valid "available": false document; with one it wraps the snapshot.
+func TestIntrospectEndpoint(t *testing.T) {
+	s := &Server{Program: "test"}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/introspect/pht")
+	if code != 200 {
+		t.Fatalf("/introspect/pht = %d", code)
+	}
+	var doc struct {
+		Schema    string          `json:"schema"`
+		Available bool            `json:"available"`
+		Snapshot  json.RawMessage `json:"snapshot"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, body)
+	}
+	if doc.Schema != IntrospectSchema || doc.Available || doc.Snapshot != nil {
+		t.Errorf("empty introspection doc = %+v", doc)
+	}
+
+	type snap struct {
+		Size int `json:"size"`
+	}
+	s2 := &Server{Program: "test", Introspect: func() any { return snap{Size: 16384} }}
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	code, body = get(t, srv2, "/introspect/pht")
+	if code != 200 {
+		t.Fatalf("/introspect/pht = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, body)
+	}
+	if !doc.Available || !strings.Contains(string(doc.Snapshot), "16384") {
+		t.Errorf("introspection doc = %+v", doc)
+	}
+}
+
+// TestStatuszLeakageSection: the leakage block appears only after the
+// first completed window, filled from the gauges.
+func TestStatuszLeakageSection(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := &Server{Program: "test", Metrics: reg}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	_, body := get(t, srv, "/statusz")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Leakage != nil {
+		t.Errorf("leakage section before any window: %+v", st.Leakage)
+	}
+
+	reg.Counter("leakage.windows").Add(2)
+	reg.Gauge("leakage.ber").Set(0.03)
+	reg.Gauge("leakage.mi_bits").Set(0.8)
+	reg.Gauge("leakage.capacity_bits").Set(0.85)
+	reg.Gauge("leakage.snr").Set(120)
+
+	_, body = get(t, srv, "/statusz")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Leakage == nil {
+		t.Fatal("leakage section missing after windows observed")
+	}
+	if st.Leakage.Windows != 2 || st.Leakage.BitErrorRate != 0.03 ||
+		st.Leakage.MutualInformationBits != 0.8 || st.Leakage.CapacityBits != 0.85 || st.Leakage.SNR != 120 {
+		t.Errorf("leakage section = %+v", st.Leakage)
+	}
+}
+
+func TestWriteIntrospection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIntrospection(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"available": false`) {
+		t.Errorf("nil snapshot doc = %s", buf.String())
+	}
+	// Deterministic: same snapshot, same bytes.
+	render := func() string {
+		var b bytes.Buffer
+		if err := WriteIntrospection(&b, map[string]int{"b": 2, "a": 1}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("introspection rendering not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestLeakageFields(t *testing.T) {
+	if got := LeakageFields(nil); got != nil {
+		t.Errorf("LeakageFields(nil) = %v", got)
+	}
+	if got := LeakageFields(&telemetry.Snapshot{}); got != nil {
+		t.Errorf("LeakageFields(empty) = %v", got)
+	}
+	delta := &telemetry.Snapshot{Gauges: []telemetry.GaugeSnapshot{
+		{Name: "covert.error_rate", Value: 0.01},
+		{Name: "leakage.ber", Value: 0.02},
+		{Name: "leakage.mi_bits", Value: 0.9},
+	}}
+	got := LeakageFields(delta)
+	if len(got) != 2 || got["ber"] != 0.02 || got["mi_bits"] != 0.9 {
+		t.Errorf("LeakageFields = %v", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"branchscope/internal/telemetry"
@@ -47,6 +48,10 @@ type LedgerRecord struct {
 	// MetricsDelta is the telemetry registry's change attributed to
 	// this task (see DeltaRecorder for the attribution caveat).
 	MetricsDelta *telemetry.Snapshot `json:"metrics_delta,omitempty"`
+	// Leakage carries the channel-quality gauges (leakage.* with the
+	// prefix stripped) the task published, extracted from MetricsDelta
+	// by LeakageFields; omitted for tasks that measured no channel.
+	Leakage map[string]float64 `json:"leakage,omitempty"`
 }
 
 // Digest fingerprints a rendered result for a LedgerRecord.
@@ -176,6 +181,30 @@ func (d *DeltaRecorder) End(id string) *telemetry.Snapshot {
 		return nil
 	}
 	return &delta
+}
+
+// LeakageFields extracts the channel-quality gauges from a task's
+// metrics delta for LedgerRecord.Leakage: every gauge under the
+// "leakage." prefix, keyed with the prefix stripped ("leakage.ber" →
+// "ber"). Nil-safe; returns nil when the delta carries none, so the
+// ledger field marshals away. Go maps marshal with sorted keys, so the
+// extraction preserves record determinism.
+func LeakageFields(delta *telemetry.Snapshot) map[string]float64 {
+	if delta == nil {
+		return nil
+	}
+	var out map[string]float64
+	const prefix = "leakage."
+	for _, g := range delta.Gauges {
+		if !strings.HasPrefix(g.Name, prefix) {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64)
+		}
+		out[strings.TrimPrefix(g.Name, prefix)] = g.Value
+	}
+	return out
 }
 
 // OutcomeOf classifies a single-run error the way engine.Report.Outcome

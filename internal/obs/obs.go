@@ -1,8 +1,10 @@
 // Package obs is the live observability service layer: an HTTP server
-// exposing the telemetry registry as Prometheus text (/metrics), suite
-// progress as JSON (/statusz), liveness and readiness probes, and the
-// Go profiler (/debug/pprof) — plus the structured logger and the
-// run-provenance ledger shared by the CLIs.
+// exposing the telemetry registry as Prometheus text (/metrics), the
+// channel-quality subset of it (/leakage), the latest predictor
+// introspection snapshot (/introspect/pht), suite progress as JSON
+// (/statusz), liveness and readiness probes, and the Go profiler
+// (/debug/pprof) — plus the structured logger and the run-provenance
+// ledger shared by the CLIs.
 //
 // Everything here lives outside the simulated machine: handlers read
 // wall clocks and atomics but never write into the simulator, so
@@ -37,6 +39,10 @@ type Server struct {
 	Status func() Status
 	// Ready feeds /readyz; nil means always ready.
 	Ready func() bool
+	// Introspect feeds /introspect/pht with the latest predictor
+	// snapshot (typically leakage.LatestIntrospection); nil or a nil
+	// return serves an "available": false document.
+	Introspect func() any
 	// Log receives handler errors; nil discards them.
 	Log *slog.Logger
 }
@@ -62,6 +68,30 @@ func (s *Server) Handler() http.Handler {
 			s.Log.Error("metrics scrape failed", "err", err)
 		}
 	})
+	mux.HandleFunc("/leakage", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", promtext.ContentType)
+		// Scoped view over one registry snapshot: scrapes must never
+		// create instruments, or -metrics-out would become
+		// scrape-dependent and break its determinism contract.
+		snap := s.Metrics.Snapshot().Filter("leakage.")
+		if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) == 0 {
+			fmt.Fprintln(w, "# leakage: no windows observed yet")
+			return
+		}
+		if err := promtext.Write(w, snap); err != nil && s.Log != nil {
+			s.Log.Error("leakage scrape failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/introspect/pht", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var snap any
+		if s.Introspect != nil {
+			snap = s.Introspect()
+		}
+		if err := WriteIntrospection(w, snap); err != nil && s.Log != nil {
+			s.Log.Error("introspection render failed", "err", err)
+		}
+	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		st := Status{Schema: StatusSchema}
 		if s.Status != nil {
@@ -72,7 +102,9 @@ func (s *Server) Handler() http.Handler {
 		}
 		st.PID = os.Getpid()
 		st.GoVersion = runtime.Version()
-		for _, h := range s.Metrics.Snapshot().Histograms {
+		snap := s.Metrics.Snapshot()
+		st.Leakage = leakageStatus(snap)
+		for _, h := range snap.Histograms {
 			st.Histograms = append(st.Histograms, HistogramStatus{
 				Name:  h.Name,
 				Count: h.Count,
@@ -101,9 +133,39 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "branchscope observability (%s)\nendpoints: /metrics /statusz /healthz /readyz /debug/pprof/\n", s.Program)
+		fmt.Fprintf(w, "branchscope observability (%s)\nendpoints: /metrics /leakage /introspect/pht /statusz /healthz /readyz /debug/pprof/\n", s.Program)
 	})
 	return mux
+}
+
+// leakageStatus extracts the /statusz channel-quality section from an
+// already-taken registry snapshot, or nil before the first completed
+// attack window. Reading the snapshot (never the registry) keeps
+// scrapes from creating instruments.
+func leakageStatus(snap telemetry.Snapshot) *LeakageStatus {
+	var windows uint64
+	for _, c := range snap.Counters {
+		if c.Name == "leakage.windows" {
+			windows = c.Value
+		}
+	}
+	if windows == 0 {
+		return nil
+	}
+	ls := &LeakageStatus{Windows: windows}
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case "leakage.ber":
+			ls.BitErrorRate = g.Value
+		case "leakage.mi_bits":
+			ls.MutualInformationBits = g.Value
+		case "leakage.capacity_bits":
+			ls.CapacityBits = g.Value
+		case "leakage.snr":
+			ls.SNR = g.Value
+		}
+	}
+	return ls
 }
 
 // Start binds addr (":8080", "127.0.0.1:0", ...) and serves in the

@@ -36,6 +36,21 @@ type BreakerStatus struct {
 	Skipped int `json:"skipped"`
 }
 
+// LeakageStatus is the /statusz channel-quality section, filled by the
+// obs server from the leakage.* gauges of the live metrics registry.
+// Like BreakerStatus it mirrors a shape (leakage.Report's headline
+// numbers) instead of importing the package — obs stays a leaf.
+type LeakageStatus struct {
+	// Windows is the completed attack-window count.
+	Windows uint64 `json:"windows"`
+	// BitErrorRate through SNR echo the latest covert cell's channel-
+	// quality gauges; see internal/leakage for definitions.
+	BitErrorRate          float64 `json:"bit_error_rate"`
+	MutualInformationBits float64 `json:"mutual_information_bits"`
+	CapacityBits          float64 `json:"capacity_bits"`
+	SNR                   float64 `json:"snr"`
+}
+
 // HistogramStatus summarizes one metrics histogram for /statusz.
 type HistogramStatus struct {
 	Name  string  `json:"name"`
@@ -76,6 +91,10 @@ type Status struct {
 	// from PMC to timing probing; filled by the serving program from
 	// the core.probe.degradations counter.
 	DegradedProbes uint64 `json:"degraded_probes,omitempty"`
+	// Leakage carries the live channel-quality numbers once at least
+	// one attack window has completed; filled by the obs server from
+	// the leakage.* metrics, not the tracker.
+	Leakage *LeakageStatus `json:"leakage,omitempty"`
 	// Histograms carries p50/p95/p99 summaries of the live metrics
 	// registry; filled by the obs server, not the tracker.
 	Histograms []HistogramStatus `json:"histograms,omitempty"`

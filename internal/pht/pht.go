@@ -106,6 +106,33 @@ func (t *Table) Restore(snap []uint8) {
 	copy(t.entries, snap)
 }
 
+// Introspection is a canonical-JSON snapshot of a table's per-entry
+// 2-bit counter state: the FSM name, the raw entry states (marshals as
+// base64 of one byte per entry), and a count per architectural label.
+// Map keys marshal name-sorted, so identical table states produce
+// byte-identical JSON.
+type Introspection struct {
+	FSM         string         `json:"fsm"`
+	Size        int            `json:"size"`
+	StateCounts map[string]int `json:"state_counts"`
+	Entries     []byte         `json:"entries"`
+}
+
+// Introspect captures the table's current per-entry state. The result
+// is a self-contained copy, safe to hold across further updates.
+func (t *Table) Introspect() Introspection {
+	in := Introspection{
+		FSM:         t.spec.Name,
+		Size:        len(t.entries),
+		StateCounts: make(map[string]int),
+		Entries:     append([]byte(nil), t.entries...),
+	}
+	for _, s := range t.entries {
+		in.StateCounts[t.spec.Label(s).String()]++
+	}
+	return in
+}
+
 // fold mixes the high half of a branch address into its low bits before
 // table indexing. Real front-ends hash a wide slice of the address (prior
 // BTB work exploited address bits up to bit 30); a pure low-bit modulo

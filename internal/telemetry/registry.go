@@ -236,6 +236,30 @@ type Snapshot struct {
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
+// Filter returns the subset of the snapshot whose metric names start
+// with prefix, preserving the name-sorted order. It lets scoped
+// exports (the obs server's /leakage endpoint) reuse one registry
+// snapshot instead of creating instruments on scrape.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	var out Snapshot
+	for _, c := range s.Counters {
+		if strings.HasPrefix(c.Name, prefix) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if strings.HasPrefix(g.Name, prefix) {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Histograms {
+		if strings.HasPrefix(h.Name, prefix) {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	return out
+}
+
 // Snapshot captures the registry's current state in deterministic
 // (name-sorted) order. A nil registry yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {

@@ -132,3 +132,18 @@ func ExpBuckets(start uint64, factor float64, n int) []uint64 {
 	}
 	return bounds
 }
+
+// LinearBuckets returns n evenly spaced histogram bucket upper bounds
+// start, start+width, ..., start+(n-1)*width. It suits bounded-range
+// quantities — permille rates, millibit information measures — where
+// exponential spacing would waste resolution.
+func LinearBuckets(start, width uint64, n int) []uint64 {
+	if n <= 0 || width == 0 {
+		panic(fmt.Sprintf("telemetry: LinearBuckets(%d, %d, %d): need n > 0 and width > 0", start, width, n))
+	}
+	bounds := make([]uint64, n)
+	for i := range bounds {
+		bounds[i] = start + uint64(i)*width
+	}
+	return bounds
+}
