@@ -194,6 +194,21 @@ type Unit struct {
 	tags     []tagEntry
 	btb      []btbEntry
 
+	// epoch versions the index-function layout. It starts at 1 (so a
+	// zero-valued Site is never considered current) and is bumped by
+	// MarkSensitive, the only post-construction mutation that changes
+	// how addresses resolve. Cached Sites revalidate against it.
+	epoch uint32
+
+	// Inline PHT fast path: the table's live entry array and compiled
+	// transition plane (see pht.Raw), plus whether updates may bypass
+	// the stochastic check. Caching them here turns the per-branch
+	// predict/update into direct slice steps with no cross-package
+	// calls.
+	phtEntries []uint8
+	phtPlane   []uint8
+	phtFast    bool
+
 	// Introspection diagnostics (not architectural state): lifetime
 	// commit/mispredict counts and a coarse per-set mispredict heatmap.
 	// Deliberately excluded from Snapshot/Restore — the PHT mapper's
@@ -217,23 +232,52 @@ func New(cfg Config) *Unit {
 		ghrMask:  (uint64(1) << uint(cfg.GHRBits)) - 1,
 		tags:     make([]tagEntry, cfg.TagEntries),
 		btb:      make([]btbEntry, cfg.BTBEntries),
+		epoch:    1,
 		heat:     make([]uint64, heatSets(cfg.PHTSize)),
 	}
 	if cfg.Mitigation == MitigationStochasticFSM {
 		u.pht.SetStochastic(cfg.StochasticP, rng.New(cfg.mitigationSeed+0x5eed))
 	}
+	u.phtEntries, u.phtPlane = u.pht.Raw()
+	u.phtFast = !u.pht.Stochastic()
 	u.resetSelector()
 	return u
+}
+
+// phtPredict reads entry idx's predicted direction inline.
+func (u *Unit) phtPredict(idx int32) bool {
+	return u.cfg.FSM.Predict(u.phtEntries[idx])
+}
+
+// phtUpdate steps entry idx inline on deterministic tables; stochastic
+// tables (§10.2) keep the table's slow path and its draw order.
+func (u *Unit) phtUpdate(idx int32, taken bool) {
+	if !u.phtFast {
+		u.pht.Update(int(idx), taken)
+		return
+	}
+	b := uint(0)
+	if taken {
+		b = 1
+	}
+	e := u.phtEntries
+	e[idx] = u.phtPlane[uint(e[idx])<<1|b]
 }
 
 // Config returns the unit's configuration.
 func (u *Unit) Config() Config { return u.cfg }
 
 // MarkSensitive registers [lo, hi) as a software-marked sensitive code
-// range for MitigationNoPredictSensitive. Ranges accumulate.
+// range for MitigationNoPredictSensitive. Ranges accumulate. Marking a
+// range invalidates every cached Site (epoch bump) so batched plans
+// resolved before the call observe the new layout.
 func (u *Unit) MarkSensitive(lo, hi uint64) {
 	u.cfg.sensitiveRanges = append(u.cfg.sensitiveRanges, addrRange{lo, hi})
+	u.epoch++
 }
+
+// Epoch returns the current index-layout version; see Site.
+func (u *Unit) Epoch() uint32 { return u.epoch }
 
 func (u *Unit) sensitive(addr uint64) bool {
 	if u.cfg.Mitigation != MitigationNoPredictSensitive {
@@ -335,59 +379,155 @@ type Lookup struct {
 	// (sensitive range or StaticOnly mode) and will not update state.
 	Static bool
 
-	tagHit     bool
-	bimodalIdx int
-	gshareIdx  int
-	selIdx     int
-	tagIdx     int
+	tagHit bool
+	// Index fields are int32: every table size fits comfortably, and
+	// the narrower Lookup avoids bulk struct-copy (duffcopy) cost on
+	// the per-branch path.
+	bimodalIdx int32
+	gshareIdx  int32
+	selIdx     int32
+	tagIdx     int32
+	btbIdx     int32
 	domain     uint64
 	addr       uint64
+}
+
+// Site is the resolved indexing state of one static branch site for one
+// security domain: every index that does not depend on mutable predictor
+// state, computed once and reused across executions. The gshare index is
+// the exception — it depends on the GHR — so the Site keeps the folded
+// address (and, under the randomized-index mitigation, the domain key)
+// and finishes that index per prediction.
+//
+// A zero Site is valid and simply resolves on first use; Sites
+// revalidate against the unit's layout epoch, so holding one across
+// MarkSensitive is safe.
+type Site struct {
+	addr   uint64
+	domain uint64
+	gFold  uint64 // pht.Fold(addr), XORed with the GHR at predict time
+	gKey   uint64 // per-domain key when gKeyed
+
+	bimodalIdx int32
+	selIdx     int32
+	tagIdx     int32
+	btbIdx     int32
+	gBase      int32 // partition base of the domain's PHT span
+	gSize      int32 // partition size of the domain's PHT span
+
+	epoch  uint32
+	static bool
+	gKeyed bool // randomized-index mitigation active
+}
+
+// Addr returns the branch address the site was resolved for.
+func (s *Site) Addr() uint64 { return s.addr }
+
+// Resolve computes the Site for a branch at addr in the given domain.
+func (u *Unit) Resolve(domain, addr uint64) Site {
+	var s Site
+	u.ResolveInto(&s, domain, addr)
+	return s
+}
+
+// ResolveInto is Resolve writing into a caller-owned Site, avoiding the
+// return-value copy on hot compile paths.
+func (u *Unit) ResolveInto(s *Site, domain, addr uint64) {
+	base, size := u.phtSpan(domain)
+	*s = Site{
+		addr:       addr,
+		domain:     domain,
+		epoch:      u.epoch,
+		static:     u.cfg.Mode == StaticOnly || u.sensitive(addr),
+		bimodalIdx: int32(u.bimodalIndex(domain, addr)),
+		selIdx:     int32(pht.IndexMod(addr, u.cfg.SelectorSize)),
+		tagIdx:     int32(u.tagIndex(domain, addr)),
+		btbIdx:     int32(pht.IndexMod(addr, u.cfg.BTBEntries)),
+		gFold:      pht.Fold(addr),
+		gBase:      int32(base),
+		gSize:      int32(size),
+	}
+	if u.cfg.Mitigation == MitigationRandomizedIndex {
+		s.gKeyed = true
+		s.gKey = u.domainKey(domain)
+	}
+}
+
+// gshareIdx finishes the 2-level index for the current GHR value.
+func (s *Site) gshareIdx(ghr uint64) int32 {
+	if s.gKeyed {
+		return s.gBase + int32(pht.KeyedIndex(s.addr^(ghr<<1), s.gKey, int(s.gSize)))
+	}
+	return s.gBase + int32(pht.IndexMod(s.gFold^ghr, int(s.gSize)))
 }
 
 // Predict produces a direction and target prediction for the branch at
 // addr, executed by the given security domain (hardware contexts in the
 // same process share a domain; the mitigations key on it).
 func (u *Unit) Predict(domain, addr uint64) Lookup {
-	l := Lookup{
-		domain:     domain,
-		addr:       addr,
-		bimodalIdx: u.bimodalIndex(domain, addr),
-		gshareIdx:  u.gshareIndex(domain, addr),
-		selIdx:     int(addr % uint64(u.cfg.SelectorSize)),
-		tagIdx:     u.tagIndex(domain, addr),
+	s := u.Resolve(domain, addr)
+	return u.PredictSite(&s)
+}
+
+// PredictSite is Predict for a previously resolved Site.
+func (u *Unit) PredictSite(s *Site) Lookup {
+	var l Lookup
+	u.PredictSiteInto(&l, s)
+	return l
+}
+
+// PredictSiteInto is the per-branch hot path: Predict for a previously
+// resolved Site, written into a caller-owned Lookup (no struct-copy
+// traffic). It skips every index computation except the GHR-dependent
+// gshare finish, revalidating (and re-resolving in place) if the unit's
+// index layout changed since the Site was built.
+func (u *Unit) PredictSiteInto(l *Lookup, s *Site) {
+	if s.epoch != u.epoch {
+		u.ResolveInto(s, s.domain, s.addr)
 	}
-	if u.cfg.Mode == StaticOnly || u.sensitive(addr) {
+	*l = Lookup{
+		domain:     s.domain,
+		addr:       s.addr,
+		bimodalIdx: s.bimodalIdx,
+		selIdx:     s.selIdx,
+		tagIdx:     s.tagIdx,
+		btbIdx:     s.btbIdx,
+	}
+	if s.static {
 		l.Static = true
-		l.Taken = false
-		l.BTBHit, l.Target = u.btbLookup(addr)
-		return l
+		l.BTBHit, l.Target = u.btbLookupAt(s.btbIdx, s.addr)
+		return
 	}
-	te := u.tags[l.tagIdx]
-	l.tagHit = te.valid && te.addr == addr
+	l.gshareIdx = s.gshareIdx(u.ghr)
+	te := u.tags[s.tagIdx]
+	l.tagHit = te.valid && te.addr == s.addr
 
 	switch u.cfg.Mode {
 	case BimodalOnly:
-		l.Taken = u.pht.Predict(l.bimodalIdx)
+		l.Taken = u.phtPredict(l.bimodalIdx)
 	case GshareOnly:
-		l.Taken = u.pht.Predict(l.gshareIdx)
+		l.Taken = u.phtPredict(l.gshareIdx)
 		l.UsedGshare = true
 	default: // Hybrid
 		// A branch without a live tag is new to the unit: the 2-level
 		// predictor has no usable history for it, so the 1-level
 		// prediction is used (§5.1).
 		if l.tagHit && u.selector[l.selIdx] >= selectorThreshold {
-			l.Taken = u.pht.Predict(l.gshareIdx)
+			l.Taken = u.phtPredict(l.gshareIdx)
 			l.UsedGshare = true
 		} else {
-			l.Taken = u.pht.Predict(l.bimodalIdx)
+			l.Taken = u.phtPredict(l.bimodalIdx)
 		}
 	}
-	l.BTBHit, l.Target = u.btbLookup(addr)
-	return l
+	l.BTBHit, l.Target = u.btbLookupAt(s.btbIdx, s.addr)
 }
 
 func (u *Unit) btbLookup(addr uint64) (bool, uint64) {
-	e := u.btb[addr%uint64(u.cfg.BTBEntries)]
+	return u.btbLookupAt(int32(pht.IndexMod(addr, u.cfg.BTBEntries)), addr)
+}
+
+func (u *Unit) btbLookupAt(idx int32, addr uint64) (bool, uint64) {
+	e := u.btb[idx]
 	if e.valid && e.addr == addr {
 		return true, e.target
 	}
@@ -400,6 +540,13 @@ func (u *Unit) btbLookup(addr uint64) (bool, uint64) {
 // tracker (a tag miss) — the churn signal the internal/detect hardware
 // countermeasure monitors.
 func (u *Unit) Commit(l Lookup, taken bool, target uint64) (allocated bool) {
+	return u.CommitRef(&l, taken, target)
+}
+
+// CommitRef is Commit through a caller-owned Lookup, paired with
+// PredictSiteInto on the per-branch hot path. The Lookup is not
+// modified.
+func (u *Unit) CommitRef(l *Lookup, taken bool, target uint64) (allocated bool) {
 	if l.Static {
 		// Sensitive/static branches leave no trace in the BPU; that is
 		// the entire point of the mitigation (§10.2 "avoid updating any
@@ -414,18 +561,18 @@ func (u *Unit) Commit(l Lookup, taken bool, target uint64) (allocated bool) {
 		if l.UsedGshare {
 			idx = l.gshareIdx
 		}
-		u.heat[idx*len(u.heat)/u.cfg.PHTSize]++
+		u.heat[int(idx)*len(u.heat)/u.cfg.PHTSize]++
 	}
 	switch u.cfg.Mode {
 	case BimodalOnly:
-		u.pht.Update(l.bimodalIdx, taken)
+		u.phtUpdate(l.bimodalIdx, taken)
 	case GshareOnly:
-		u.pht.Update(l.gshareIdx, taken)
+		u.phtUpdate(l.gshareIdx, taken)
 	default:
 		// Tournament update: train the selector on disagreement, using
 		// each component's pre-update prediction.
-		bim := u.pht.Predict(l.bimodalIdx)
-		gsh := u.pht.Predict(l.gshareIdx)
+		bim := u.phtPredict(l.bimodalIdx)
+		gsh := u.phtPredict(l.gshareIdx)
 		if bim != gsh {
 			if gsh == taken {
 				if u.selector[l.selIdx] < selectorMax {
@@ -438,9 +585,9 @@ func (u *Unit) Commit(l Lookup, taken bool, target uint64) (allocated bool) {
 			}
 		}
 		// Both components observe the outcome (shared physical PHT).
-		u.pht.Update(l.bimodalIdx, taken)
+		u.phtUpdate(l.bimodalIdx, taken)
 		if l.gshareIdx != l.bimodalIdx {
-			u.pht.Update(l.gshareIdx, taken)
+			u.phtUpdate(l.gshareIdx, taken)
 		}
 	}
 
@@ -460,7 +607,7 @@ func (u *Unit) Commit(l Lookup, taken bool, target uint64) (allocated bool) {
 	// target of a conditional branch is updated only when the branch is
 	// taken").
 	if taken {
-		u.btb[l.addr%uint64(u.cfg.BTBEntries)] = btbEntry{valid: true, addr: l.addr, target: target}
+		u.btb[l.btbIdx] = btbEntry{valid: true, addr: l.addr, target: target}
 	}
 	return !l.tagHit
 }

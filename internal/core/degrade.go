@@ -107,6 +107,6 @@ func (s *Session) degrade() {
 	}
 	s.degraded = true
 	if s.tel != nil {
-		s.tel.set.Counter("core.probe.degradations").Inc()
+		s.tel.degradations.Inc()
 	}
 }

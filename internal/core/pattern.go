@@ -17,15 +17,18 @@ const (
 )
 
 // MakePattern builds a Pattern from the two probe executions'
-// misprediction flags.
+// misprediction flags. It returns one of the four interned constants so
+// the probe hot path never allocates a pattern string.
 func MakePattern(firstMiss, secondMiss bool) Pattern {
-	b := func(miss bool) byte {
-		if miss {
-			return 'M'
-		}
-		return 'H'
+	switch {
+	case firstMiss && secondMiss:
+		return PatternMM
+	case firstMiss:
+		return PatternMH
+	case secondMiss:
+		return PatternHM
 	}
-	return Pattern([]byte{b(firstMiss), b(secondMiss)})
+	return PatternHH
 }
 
 // Valid reports whether p is one of the four legal patterns.

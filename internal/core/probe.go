@@ -15,10 +15,19 @@ func ProbePMC(ctx *cpu.Context, addr uint64, taken bool) Pattern {
 // counter readings: the session's health gate inspects them for
 // implausible values before the pattern is decoded (see DegradeConfig).
 func ProbePMCReadings(ctx *cpu.Context, addr uint64, taken bool) (m0, m1, m2 uint64) {
+	rb := ctx.ResolveBranch(addr)
+	return ProbePMCReadingsResolved(ctx, &rb, taken)
+}
+
+// ProbePMCReadingsResolved is ProbePMCReadings over a pre-resolved spy
+// branch: attack sessions probe the same target address millions of
+// times, so they resolve its predictor indexes once at construction and
+// pay only the two branch executions per probe.
+func ProbePMCReadingsResolved(ctx *cpu.Context, rb *cpu.ResolvedBranch, taken bool) (m0, m1, m2 uint64) {
 	m0 = ctx.ReadPMC(cpu.BranchMisses)
-	ctx.Branch(addr, taken)
+	rb.Execute(taken)
 	m1 = ctx.ReadPMC(cpu.BranchMisses)
-	ctx.Branch(addr, taken)
+	rb.Execute(taken)
 	m2 = ctx.ReadPMC(cpu.BranchMisses)
 	return m0, m1, m2
 }
@@ -34,10 +43,17 @@ type TSCSample struct {
 // with the timestamp counter instead of the PMC. The caller classifies
 // the latencies against a calibrated threshold (see TimingDetector).
 func ProbeTSC(ctx *cpu.Context, addr uint64, taken bool) TSCSample {
+	rb := ctx.ResolveBranch(addr)
+	return ProbeTSCResolved(ctx, &rb, taken)
+}
+
+// ProbeTSCResolved is ProbeTSC over a pre-resolved spy branch (see
+// ProbePMCReadingsResolved).
+func ProbeTSCResolved(ctx *cpu.Context, rb *cpu.ResolvedBranch, taken bool) TSCSample {
 	t0 := ctx.ReadTSC()
-	ctx.Branch(addr, taken)
+	rb.Execute(taken)
 	t1 := ctx.ReadTSC()
-	ctx.Branch(addr, taken)
+	rb.Execute(taken)
 	t2 := ctx.ReadTSC()
 	return TSCSample{First: t1 - t0, Second: t2 - t1}
 }

@@ -31,6 +31,14 @@ type Block struct {
 	sites    []site
 	branches int
 	end      uint64 // one past the last contiguous code byte
+
+	// plan is the block compiled for planCtx: site index resolution is
+	// hoisted out of the per-execution path, so the thousands of Run
+	// calls an attack session makes pay only predictor steps. Compiled
+	// lazily because blocks are generated (and mostly discarded) by the
+	// pre-attack search before a context commits to one.
+	plan    *cpu.ExecPlan
+	planCtx *cpu.Context
 }
 
 // Len returns the number of branch instructions in the block.
@@ -46,15 +54,23 @@ func (b *Block) Span() uint64 {
 }
 
 // Run executes the block on a context. Every execution replays the
-// identical instruction sequence — the block is static code.
+// identical instruction sequence — the block is static code. The block
+// caches a compiled ExecPlan per context, so repeated runs skip index
+// resolution entirely; plan execution is observationally identical to
+// the serial instruction walk (see cpu.ExecPlan).
 func (b *Block) Run(ctx *cpu.Context) {
-	for _, s := range b.sites {
-		if s.nop {
-			ctx.Nop(s.addr)
-			continue
+	if b.planCtx != ctx {
+		plan := ctx.NewPlan(len(b.sites))
+		for _, s := range b.sites {
+			if s.nop {
+				plan.Nop(s.addr)
+				continue
+			}
+			plan.Branch(s.addr, s.taken)
 		}
-		ctx.Branch(s.addr, s.taken)
+		b.plan, b.planCtx = plan, ctx
 	}
+	b.plan.Run()
 }
 
 // String implements fmt.Stringer.

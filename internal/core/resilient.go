@@ -115,15 +115,14 @@ func (s *Session) ReadBit(victim Stepper, before, after func()) Reading {
 		}
 	}
 	if s.tel != nil {
-		set := s.tel.set
 		if r.Attempts > 1 {
-			set.Counter("core.read.retries").Add(uint64(r.Attempts - 1))
+			s.tel.retries.Add(uint64(r.Attempts - 1))
 		}
 		if r.Outliers > 0 {
-			set.Counter("core.read.outliers").Add(uint64(r.Outliers))
+			s.tel.outliers.Add(uint64(r.Outliers))
 		}
 		if !r.Known {
-			set.Counter("core.read.unknown").Inc()
+			s.tel.unknown.Inc()
 		}
 	}
 	return r
@@ -161,7 +160,7 @@ func (s *Session) maybeDriftCheck() {
 		s.calCursor += uint64(s.cfg.TimingCalibrationReps)*64 + 64
 		s.recalibrated++
 		if s.tel != nil {
-			s.tel.set.Counter("core.timing.drift_recalibrations").Inc()
+			s.tel.driftRecals.Inc()
 		}
 	}
 }
@@ -179,14 +178,15 @@ func (s *Session) driftDetected() bool {
 	for i := 0; i < n; i++ {
 		addr := s.calCursor
 		s.calCursor += 64
+		rb := s.spy.ResolveBranch(addr)
 		for j := 0; j < 4; j++ {
-			s.spy.Branch(addr, true)
+			rb.Execute(true)
 		}
 		t0 := s.spy.ReadTSC()
-		s.spy.Branch(addr, true)
+		rb.Execute(true)
 		hit := s.spy.ReadTSC() - t0
 		t0 = s.spy.ReadTSC()
-		s.spy.Branch(addr, false)
+		rb.Execute(false)
 		miss := s.spy.ReadTSC() - t0
 		if s.detector.Miss(hit) {
 			wrong++
@@ -196,7 +196,7 @@ func (s *Session) driftDetected() bool {
 		}
 	}
 	if s.tel != nil {
-		s.tel.set.Counter("core.timing.drift_checks").Inc()
+		s.tel.driftChecks.Inc()
 	}
 	return wrong*2 > n // > 25% of the 2n classifications
 }

@@ -73,6 +73,11 @@ type Session struct {
 	detector *TimingDetector
 	tel      *sessionTel
 
+	// probeRB is the target spy branch with its predictor indexes
+	// resolved once at session construction: every probe of the
+	// session's lifetime executes this one branch twice.
+	probeRB cpu.ResolvedBranch
+
 	// Resilient-read state (see resilient.go): the scratch-address
 	// cursor for drift checks and recalibrations, the episode count
 	// since the last drift check, and recalibration statistics.
@@ -106,6 +111,16 @@ type sessionTel struct {
 	step     *telemetry.Histogram
 	probe    *telemetry.Histogram
 	episode  *telemetry.Histogram
+
+	// Resilient-read and health-gate counters (resilient.go,
+	// degrade.go), resolved once here: a registry lookup hashes the
+	// metric name, which is far too expensive for the per-read path.
+	retries      *telemetry.Counter
+	outliers     *telemetry.Counter
+	unknown      *telemetry.Counter
+	driftChecks  *telemetry.Counter
+	driftRecals  *telemetry.Counter
+	degradations *telemetry.Counter
 }
 
 // sessionCycleBuckets spans ~64 cycles (a bare probe) to ~2M cycles
@@ -114,13 +129,19 @@ func sessionCycleBuckets() []uint64 { return telemetry.ExpBuckets(64, 2, 16) }
 
 func newSessionTel(set *telemetry.Set, spy *cpu.Context) *sessionTel {
 	t := &sessionTel{
-		set:      set,
-		tid:      spy.TID(),
-		episodes: set.Counter("core.episodes"),
-		prime:    set.Histogram("core.cycles.prime", sessionCycleBuckets()),
-		step:     set.Histogram("core.cycles.step", sessionCycleBuckets()),
-		probe:    set.Histogram("core.cycles.probe", sessionCycleBuckets()),
-		episode:  set.Histogram("core.cycles.episode", sessionCycleBuckets()),
+		set:          set,
+		tid:          spy.TID(),
+		episodes:     set.Counter("core.episodes"),
+		prime:        set.Histogram("core.cycles.prime", sessionCycleBuckets()),
+		step:         set.Histogram("core.cycles.step", sessionCycleBuckets()),
+		probe:        set.Histogram("core.cycles.probe", sessionCycleBuckets()),
+		episode:      set.Histogram("core.cycles.episode", sessionCycleBuckets()),
+		retries:      set.Counter("core.read.retries"),
+		outliers:     set.Counter("core.read.outliers"),
+		unknown:      set.Counter("core.read.unknown"),
+		driftChecks:  set.Counter("core.timing.drift_checks"),
+		driftRecals:  set.Counter("core.timing.drift_recalibrations"),
+		degradations: set.Counter("core.probe.degradations"),
 	}
 	for i, p := range []Pattern{PatternHH, PatternHM, PatternMH, PatternMM} {
 		t.patterns[i] = set.Counter("core.patterns." + string(p))
@@ -174,6 +195,7 @@ func NewSession(spy *cpu.Context, r *rng.Source, cfg AttackConfig) (*Session, er
 		return nil, err
 	}
 	s := &Session{spy: spy, cfg: cfg, block: block, analysis: analysis}
+	s.probeRB = spy.ResolveBranch(cfg.Search.TargetAddr)
 	if set := spy.Core().Telemetry(); set != nil {
 		s.tel = newSessionTel(set, spy)
 	}
@@ -219,11 +241,11 @@ func (s *Session) Prime() {
 // degraded the session (see degrade.go).
 func (s *Session) Probe() Pattern {
 	if s.cfg.UseTiming || s.degraded {
-		sample := ProbeTSC(s.spy, s.cfg.Search.TargetAddr, true)
+		sample := ProbeTSCResolved(s.spy, &s.probeRB, true)
 		s.noteProbe(sample.First, sample.Second, true)
 		return MakePattern(s.detector.Miss(sample.First), s.detector.Miss(sample.Second))
 	}
-	m0, m1, m2 := ProbePMCReadings(s.spy, s.cfg.Search.TargetAddr, true)
+	m0, m1, m2 := ProbePMCReadingsResolved(s.spy, &s.probeRB, true)
 	s.observePMCHealth(m0, m1, m2)
 	s.noteProbe(satSub(m1, m0), satSub(m2, m1), false)
 	return MakePattern(m1 > m0, m2 > m1)

@@ -59,17 +59,18 @@ func CalibrateTiming(ctx *cpu.Context, scratch uint64, reps int) *TimingDetector
 		// planted "mispredictions" and the miss samples would silently
 		// turn into hits. A new branch stays on the 1-level predictor.
 		addr := scratch + uint64(i)*64
+		rb := ctx.ResolveBranch(addr)
 		// Train strongly taken (also warms the icache line and BTB).
 		for j := 0; j < 4; j++ {
-			ctx.Branch(addr, true)
+			rb.Execute(true)
 		}
 		// Hit sample: predicted taken, actually taken.
 		t0 := ctx.ReadTSC()
-		ctx.Branch(addr, true)
+		rb.Execute(true)
 		hits = append(hits, ctx.ReadTSC()-t0)
 		// Miss sample: still predicted taken, actually not-taken.
 		t0 = ctx.ReadTSC()
-		ctx.Branch(addr, false)
+		rb.Execute(false)
 		misses = append(misses, ctx.ReadTSC()-t0)
 	}
 	d := &TimingDetector{

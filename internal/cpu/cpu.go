@@ -13,6 +13,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"branchscope/internal/bpu"
 	"branchscope/internal/rng"
@@ -131,6 +132,18 @@ type Core struct {
 	faults  ReadFaults
 	tel     *telemetry.Set
 	ctr     coreCounters
+
+	// jitterTab is the quantized half-normal sampler built once from
+	// Timing.JitterSigma: jitterTab[k] = round(2^64 · P(jitter ≤ k)),
+	// so one uniform Uint64 draw compared against the cumulative
+	// thresholds yields a sample of uint64(|N(0,σ)|) exact to within
+	// 2^-64 per bucket — the distribution the polar-method sampler
+	// produced, at a fraction of its cost (no Log/Sqrt, no rejection
+	// loop). Timing is fixed at construction, so the table never
+	// changes. spikeThr is Timing.SpikeProb quantized the same way:
+	// one uniform draw per branch decides the spike, no float compare.
+	jitterTab []uint64
+	spikeThr  uint64
 }
 
 // ReadFaults intercepts architectural counter reads on a core. The
@@ -170,9 +183,45 @@ type coreCounters struct {
 // NewCore builds a core around a BPU configuration.
 func NewCore(cfg bpu.Config, timing Timing, seed uint64) *Core {
 	return &Core{
-		bpuUnit: bpu.New(cfg),
-		timing:  timing,
-		rnd:     rng.New(seed),
+		bpuUnit:   bpu.New(cfg),
+		timing:    timing,
+		rnd:       rng.New(seed),
+		jitterTab: buildJitterTab(timing.JitterSigma),
+		spikeThr:  quantizeProb(timing.SpikeProb),
+	}
+}
+
+// quantizeProb maps a probability to a 64-bit acceptance threshold:
+// a uniform Uint64 draw below it occurs with probability p (to within
+// 2^-64).
+func quantizeProb(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	v := p * 18446744073709551616.0 // 2^64
+	if v >= 18446744073709551615.0 {
+		return ^uint64(0)
+	}
+	return uint64(v)
+}
+
+// buildJitterTab quantizes the half-normal |N(0,σ)| to cumulative
+// 64-bit thresholds: P(floor(|N|) ≤ k) = erf((k+1) / (σ√2)). The table
+// ends with a saturated ^uint64(0) bucket, so a lookup always lands.
+func buildJitterTab(sigma float64) []uint64 {
+	if sigma <= 0 {
+		return []uint64{^uint64(0)}
+	}
+	denom := sigma * math.Sqrt2
+	var tab []uint64
+	for k := 0; ; k++ {
+		p := math.Erf(float64(k+1) / denom)
+		v := p * 18446744073709551616.0 // 2^64
+		if v >= 18446744073709551615.0 {
+			tab = append(tab, ^uint64(0))
+			return tab
+		}
+		tab = append(tab, uint64(v))
 	}
 }
 
@@ -210,28 +259,46 @@ func (c *Core) Clock() uint64 { return c.clock }
 // icacheAccess models one instruction fetch: returns the extra cycles
 // charged (zero on a hit).
 func (c *Core) icacheAccess(domain, addr uint64) uint64 {
+	extra, miss := c.icacheTouch(domain, addr)
+	if miss {
+		c.ctr.icacheMisses.Inc()
+	}
+	return extra
+}
+
+// icacheTouch is icacheAccess without the telemetry increment, so the
+// batched executor can count misses locally and flush one Add per run.
+func (c *Core) icacheTouch(domain, addr uint64) (extra uint64, miss bool) {
 	line := addr >> 6
 	e := &c.icache[line%ICacheLines]
 	if e.valid && e.domain == domain && e.line == line {
-		return 0
+		return 0, false
 	}
-	c.ctr.icacheMisses.Inc()
 	*e = icacheEntry{valid: true, domain: domain, line: line}
 	span := c.timing.ICacheMissMax - c.timing.ICacheMissMin
 	if span == 0 {
-		return c.timing.ICacheMissMin
+		return c.timing.ICacheMissMin, true
 	}
-	return c.timing.ICacheMissMin + c.rnd.Uint64n(span+1)
+	return c.timing.ICacheMissMin + c.rnd.Uint64n(span+1), true
 }
 
-// jitter draws the ambient timing noise for one instruction.
+// jitter draws the ambient timing noise for one instruction: one
+// uniform draw against the quantized half-normal thresholds (the
+// expected scan depth is E[jitter]+1 buckets, ~3 at the default σ),
+// plus the spike perturbation.
 func (c *Core) jitter() uint64 {
-	n := c.rnd.NormFloat64() * c.timing.JitterSigma
-	if n < 0 {
-		n = -n
+	u := c.rnd.Uint64()
+	j := uint64(0)
+	for _, th := range c.jitterTab {
+		if u < th {
+			break
+		}
+		j++
 	}
-	j := uint64(n)
-	if c.rnd.Chance(c.timing.SpikeProb) {
+	if j >= uint64(len(c.jitterTab)) {
+		j = uint64(len(c.jitterTab)) - 1
+	}
+	if c.rnd.Uint64() < c.spikeThr {
 		j += c.rnd.Uint64n(c.timing.SpikeMax + 1)
 	}
 	return j
@@ -336,10 +403,19 @@ func (x *Context) Branch(addr uint64, taken bool) {
 
 // BranchTo executes one conditional branch with an explicit taken-target.
 func (x *Context) BranchTo(addr uint64, taken bool, target uint64) {
+	s := x.core.bpuUnit.Resolve(x.domain, addr)
+	x.branchSite(&s, taken, target)
+}
+
+// branchSite executes one branch through a previously resolved site: the
+// shared serial execution path behind BranchTo, ResolvedBranch and the
+// hooked ExecPlan fallback.
+func (x *Context) branchSite(s *bpu.Site, taken bool, target uint64) {
 	c := x.core
 	cost := c.timing.BranchBase
-	cost += c.icacheAccess(x.domain, addr)
-	l := c.bpuUnit.Predict(x.domain, addr)
+	cost += c.icacheAccess(x.domain, s.Addr())
+	var l bpu.Lookup
+	c.bpuUnit.PredictSiteInto(&l, s)
 	if l.Taken != taken {
 		cost += c.timing.MispredictPenalty
 		x.pmc[BranchMisses]++
@@ -350,7 +426,7 @@ func (x *Context) BranchTo(addr uint64, taken bool, target uint64) {
 		c.ctr.btbMisses.Inc()
 	}
 	cost += c.jitter()
-	if c.bpuUnit.Commit(l, taken, target) {
+	if c.bpuUnit.CommitRef(&l, taken, target) {
 		x.pmc[BranchAllocations]++
 		c.ctr.allocations.Inc()
 	}
@@ -360,6 +436,46 @@ func (x *Context) BranchTo(addr uint64, taken bool, target uint64) {
 	c.ctr.instructions.Inc()
 	c.ctr.branches.Inc()
 	x.retire(true)
+}
+
+// ResolvedBranch caches the BPU site resolution for one (context,
+// address) pair so loops that re-execute the same branch — prime
+// bursts, probe pairs, calibration training — skip the per-call index
+// computations. The zero value is not usable; obtain one from
+// ResolveBranch and keep it by value (no heap allocation).
+type ResolvedBranch struct {
+	x      *Context
+	site   bpu.Site
+	target uint64
+}
+
+// ResolveBranch resolves the branch at addr for this context, with the
+// default fall-through target convention of Branch (addr+16).
+func (x *Context) ResolveBranch(addr uint64) ResolvedBranch {
+	return ResolvedBranch{
+		x:      x,
+		site:   x.core.bpuUnit.Resolve(x.domain, addr),
+		target: addr + 16,
+	}
+}
+
+// Addr returns the resolved branch's address.
+func (rb *ResolvedBranch) Addr() uint64 { return rb.site.Addr() }
+
+// Execute runs the resolved branch once with the given direction; it is
+// observationally identical to Context.Branch at the same address.
+func (rb *ResolvedBranch) Execute(taken bool) {
+	rb.x.branchSite(&rb.site, taken, rb.target)
+}
+
+// BranchRepeat executes n consecutive branches at addr with the same
+// direction — the prime-burst shape of the attack loops — resolving the
+// site once.
+func (x *Context) BranchRepeat(addr uint64, taken bool, n int) {
+	rb := x.ResolveBranch(addr)
+	for i := 0; i < n; i++ {
+		rb.Execute(taken)
+	}
 }
 
 // Nop executes one non-branch instruction at addr (the address matters:

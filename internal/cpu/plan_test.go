@@ -1,0 +1,152 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"branchscope/internal/bpu"
+	"branchscope/internal/fsm"
+)
+
+func planTestCore(seed uint64) *Core {
+	return NewCore(bpu.Config{
+		FSM:          fsm.SkylakeAsym(),
+		PHTSize:      1024,
+		SelectorSize: 256,
+		GHRBits:      12,
+		TagEntries:   128,
+		BTBEntries:   256,
+		Mode:         bpu.Hybrid,
+		SelectorInit: 3,
+	}, DefaultTiming(), seed)
+}
+
+// TestPlanMatchesSerialExecution pins the ExecPlan contract: a batched
+// run must leave the machine — clock, PMCs, predictor state, icache,
+// and the randomness stream — in exactly the state the equivalent
+// serial Branch/Nop calls produce.
+func TestPlanMatchesSerialExecution(t *testing.T) {
+	serialCore, batchCore := planTestCore(77), planTestCore(77)
+	serial := serialCore.NewContext(1)
+	batch := batchCore.NewContext(1)
+
+	type op struct {
+		addr   uint64
+		taken  bool
+		branch bool
+	}
+	var ops []op
+	base := uint64(0x6100_0000)
+	for i := 0; i < 300; i++ {
+		a := base + uint64(i%24)*20
+		ops = append(ops, op{addr: a, branch: i%5 != 0, taken: i%3 == 0})
+	}
+
+	plan := batch.NewPlan(len(ops))
+	for _, o := range ops {
+		if o.branch {
+			plan.Branch(o.addr, o.taken)
+		} else {
+			plan.Nop(o.addr)
+		}
+	}
+
+	for rep := 0; rep < 50; rep++ {
+		for _, o := range ops {
+			if o.branch {
+				serial.Branch(o.addr, o.taken)
+			} else {
+				serial.Nop(o.addr)
+			}
+		}
+		plan.Run()
+
+		if serialCore.Clock() != batchCore.Clock() {
+			t.Fatalf("rep %d: clock diverged: serial %d batch %d", rep, serialCore.Clock(), batchCore.Clock())
+		}
+		for e := Event(0); e < numEvents; e++ {
+			if sv, bv := serial.ReadPMC(e), batch.ReadPMC(e); sv != bv {
+				t.Fatalf("rep %d: PMC %v diverged: serial %d batch %d", rep, e, sv, bv)
+			}
+		}
+	}
+	if !reflect.DeepEqual(serialCore.Snapshot(), batchCore.Snapshot()) {
+		t.Fatal("core state diverged between serial and batched execution")
+	}
+}
+
+// TestPlanHookedFallback pins that a context with a retire hook gets
+// per-op hook delivery from Run, in order, with correct branch flags.
+func TestPlanHookedFallback(t *testing.T) {
+	core := planTestCore(5)
+	x := core.NewContext(1)
+	var got []bool
+	x.SetHook(func(isBranch bool) { got = append(got, isBranch) })
+
+	plan := x.NewPlan(4)
+	plan.Branch(0x100, true)
+	plan.Nop(0x200)
+	plan.Branch(0x300, false)
+	plan.Run()
+
+	want := []bool{true, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hook delivery = %v, want %v", got, want)
+	}
+}
+
+// TestResolvedBranchMatchesBranch pins ResolvedBranch/BranchRepeat
+// against per-call Branch on identically seeded cores.
+func TestResolvedBranchMatchesBranch(t *testing.T) {
+	serialCore, cachedCore := planTestCore(9), planTestCore(9)
+	serial := serialCore.NewContext(2)
+	cached := cachedCore.NewContext(2)
+
+	addr := uint64(0x4000)
+	rb := cached.ResolveBranch(addr)
+	for i := 0; i < 2000; i++ {
+		taken := i%7 < 4
+		serial.Branch(addr, taken)
+		rb.Execute(taken)
+	}
+	serial.BranchRepeat(addr+64, true, 100) // same-machine API sanity
+	cached.BranchRepeat(addr+64, true, 100)
+
+	if serialCore.Clock() != cachedCore.Clock() {
+		t.Fatalf("clock diverged: serial %d cached %d", serialCore.Clock(), cachedCore.Clock())
+	}
+	if !reflect.DeepEqual(serialCore.Snapshot(), cachedCore.Snapshot()) {
+		t.Fatal("core state diverged between Branch and ResolvedBranch execution")
+	}
+}
+
+// TestJitterTableDistribution sanity-checks the quantized sampler: the
+// empirical mean of uint64(|N(0,σ)|) is ~σ·√(2/π) − 1/2 (half-normal
+// mean shifted by the floor), and the table is monotone and saturated.
+func TestJitterTableDistribution(t *testing.T) {
+	tab := buildJitterTab(2.5)
+	if tab[len(tab)-1] != ^uint64(0) {
+		t.Fatalf("jitter table not saturated: last threshold %#x", tab[len(tab)-1])
+	}
+	for i := 1; i < len(tab); i++ {
+		if tab[i] < tab[i-1] {
+			t.Fatalf("jitter table not monotone at %d", i)
+		}
+	}
+	core := planTestCore(123)
+	core.spikeThr = 0 // isolate the half-normal term
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(core.jitter())
+	}
+	mean := sum / n
+	// E[floor(|N(0,2.5)|)] ≈ 2.5·√(2/π) − 0.5 ≈ 1.49; allow generous slack.
+	if mean < 1.3 || mean > 1.7 {
+		t.Fatalf("jitter mean = %.3f, want ≈1.49", mean)
+	}
+
+	if got := buildJitterTab(0); len(got) != 1 || got[0] != ^uint64(0) {
+		t.Fatalf("σ=0 table = %v, want single saturated bucket", got)
+	}
+}

@@ -21,9 +21,7 @@ const aliasStride = uint64(1) << 30
 // primeVia drives the PHT entry of target into the strong state for dir
 // using an aliased branch, leaving target's own icache line untouched.
 func primeVia(hw *cpu.Context, target uint64, dir bool, times int) {
-	for i := 0; i < times; i++ {
-		hw.Branch(target+aliasStride, dir)
-	}
+	hw.BranchRepeat(target+aliasStride, dir, times)
 }
 
 // Fig7Config parameterizes the §8 branch latency characterization:
@@ -104,10 +102,11 @@ func RunFig7(ctx context.Context, cfg Fig7Config) (Fig7Result, error) {
 					prime = !taken
 				}
 				primeVia(hw, addr, prime, 4)
+				rb := hw.ResolveBranch(addr)
 				// First execution warms the instruction (not recorded).
-				hw.Branch(addr, taken)
+				rb.Execute(taken)
 				t0 := hw.ReadTSC()
-				hw.Branch(addr, taken)
+				rb.Execute(taken)
 				lat.Add(float64(hw.ReadTSC() - t0))
 			}
 			res.Cases = append(res.Cases, Fig7Case{

@@ -106,7 +106,9 @@ func RunFig9(ctx context.Context, cfg Fig9Config) (Fig9Result, error) {
 	for _, probeTaken := range []bool{false, true} {
 		for _, st := range states {
 			// Streaming moments (see fig7.go): two fixed-size
-			// accumulators replace two cfg.Samples-long buffers.
+			// accumulators replace two cfg.Samples-long buffers. The
+			// prime sequence is fixed per cell, so it is built once.
+			primeSeq := fig9Prime(st)
 			var first, second stats.Welford
 			for i := 0; i < cfg.Samples; i++ {
 				if i%4096 == 0 {
@@ -115,8 +117,9 @@ func RunFig9(ctx context.Context, cfg Fig9Config) (Fig9Result, error) {
 					}
 				}
 				addr += 64
-				for _, dir := range fig9Prime(st) {
-					hw.Branch(addr+aliasStride, dir)
+				prime := hw.ResolveBranch(addr + aliasStride)
+				for _, dir := range primeSeq {
+					prime.Execute(dir)
 				}
 				sample := core.ProbeTSC(hw, addr, probeTaken)
 				first.Add(float64(sample.First))

@@ -1,0 +1,46 @@
+package fsm
+
+import "testing"
+
+// TestCompiledPlaneMatchesReference pins the compiled transition plane
+// against the retained declarative tables for every spec shape the
+// models use: Predict, Next, and Label must agree on every state and
+// outcome, and long randomized walks must visit identical states.
+func TestCompiledPlaneMatchesReference(t *testing.T) {
+	specs := []*Spec{
+		Textbook2Bit(),
+		SkylakeAsym(),
+		Saturating("wide-3-3", 3, 3, 2),
+		Saturating("deep-4-4", 4, 4, 0),
+		Saturating("minimal-1-1", 1, 1, 0),
+	}
+	for _, s := range specs {
+		for state := uint8(0); state < s.States; state++ {
+			if got, want := s.Predict(state), s.ReferencePredict(state); got != want {
+				t.Errorf("%s: Predict(%d) = %v, reference %v", s.Name, state, got, want)
+			}
+			if got, want := s.Label(state), s.ReferenceLabel(state); got != want {
+				t.Errorf("%s: Label(%d) = %v, reference %v", s.Name, state, got, want)
+			}
+			for _, taken := range []bool{false, true} {
+				if got, want := s.Next(state, taken), s.ReferenceNext(state, taken); got != want {
+					t.Errorf("%s: Next(%d, %v) = %d, reference %d", s.Name, state, taken, got, want)
+				}
+			}
+		}
+		// Deterministic pseudo-random walk through both encodings.
+		fastState, refState := s.Init, s.Init
+		x := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < 10000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			taken := x&1 == 1
+			fastState = s.Next(fastState, taken)
+			refState = s.ReferenceNext(refState, taken)
+			if fastState != refState {
+				t.Fatalf("%s: walk diverged at step %d: plane %d, reference %d", s.Name, i, fastState, refState)
+			}
+		}
+	}
+}

@@ -52,6 +52,13 @@ func Labels() []Label { return []Label{SN, WN, WT, ST} }
 
 // Spec is an immutable description of a saturating-counter FSM. A state is
 // a uint8 in [0, States); higher states lean taken.
+//
+// The hot accessors (Predict, Next, Label) read a compiled dense
+// transition plane — flat arrays indexed directly by state — rather
+// than walking the declarative taken/next/labels tables those arrays
+// are compiled from. The declarative tables are retained as the
+// reference implementation (ReferencePredict and friends) so
+// differential tests can step both encodings against each other.
 type Spec struct {
 	// Name identifies the spec in logs and experiment output.
 	Name string
@@ -67,21 +74,59 @@ type Spec struct {
 	next [][2]uint8
 	// labels maps internal state to architectural label.
 	labels []Label
+
+	// plane is the compiled transition plane: plane[state<<1|b] is the
+	// successor of state after outcome b (1 = taken). Length 2*States.
+	plane []uint8
+	// meta packs the remaining per-state facts: bit 0 is the predicted
+	// direction, bits 1-2 the architectural Label.
+	meta []uint8
 }
 
 // Predict reports the predicted direction in the given state (true =
 // taken). It panics if state is out of range, since that indicates
 // corruption of a PHT entry.
 func (s *Spec) Predict(state uint8) bool {
-	return s.taken[state]
+	return s.meta[state]&1 != 0
 }
 
 // Next returns the state after observing an actual branch outcome.
 func (s *Spec) Next(state uint8, taken bool) uint8 {
+	b := uint(0)
+	if taken {
+		b = 1
+	}
+	return s.plane[uint(state)<<1|b]
+}
+
+// Plane exposes the compiled transition plane for callers that step
+// counters on a hot path without the method-call and bounds-check
+// overhead of Next (see internal/pht). The returned slice is shared
+// and must be treated as immutable; plane[state<<1|b] is the successor
+// of state after outcome b (1 = taken).
+func (s *Spec) Plane() []uint8 {
+	return s.plane
+}
+
+// ReferencePredict is the original slice-walking prediction lookup,
+// retained verbatim as the differential-testing oracle for Predict.
+func (s *Spec) ReferencePredict(state uint8) bool {
+	return s.taken[state]
+}
+
+// ReferenceNext is the original slice-walking transition lookup,
+// retained verbatim as the differential-testing oracle for Next.
+func (s *Spec) ReferenceNext(state uint8, taken bool) uint8 {
 	if taken {
 		return s.next[state][1]
 	}
 	return s.next[state][0]
+}
+
+// ReferenceLabel is the original label lookup, retained as the
+// differential-testing oracle for Label.
+func (s *Spec) ReferenceLabel(state uint8) Label {
+	return s.labels[state]
 }
 
 // Strong returns the saturated state for a direction: the state reached
@@ -95,7 +140,7 @@ func (s *Spec) Strong(taken bool) uint8 {
 
 // Label classifies an internal state architecturally.
 func (s *Spec) Label(state uint8) Label {
-	return s.labels[state]
+	return Label(s.meta[state] >> 1)
 }
 
 // Valid reports whether state is a legal state index for this spec.
@@ -175,7 +220,26 @@ func saturating(name string, nNot, nTaken, init int) *Spec {
 		s.next[i] = [2]uint8{uint8(down), uint8(up)}
 		s.labels[i] = labelFor(i, nNot, n)
 	}
+	s.compile()
 	return s
+}
+
+// compile flattens the declarative taken/next/labels tables into the
+// dense transition plane the hot accessors read. Labels must fit in
+// two bits of meta; the four textbook labels do.
+func (s *Spec) compile() {
+	n := int(s.States)
+	s.plane = make([]uint8, 2*n)
+	s.meta = make([]uint8, n)
+	for i := 0; i < n; i++ {
+		s.plane[i<<1] = s.next[i][0]
+		s.plane[i<<1|1] = s.next[i][1]
+		m := uint8(s.labels[i]) << 1
+		if s.taken[i] {
+			m |= 1
+		}
+		s.meta[i] = m
+	}
 }
 
 // labelFor assigns architectural labels: the extreme states are strong,

@@ -24,7 +24,15 @@ import (
 type Table struct {
 	spec    *fsm.Spec
 	entries []uint8
+	// plane is the spec's compiled transition plane (see fsm.Plane),
+	// cached so the deterministic Update fast path is a single indexed
+	// load with no method call or probability check.
+	plane []uint8
 
+	// stochastic selects the slow Update path. It is recomputed by
+	// SetStochastic so the hot path pays one boolean test instead of a
+	// float compare plus a nil check per retired branch.
+	stochastic bool
 	// updateProb, when < 1, makes counter updates stochastic: each
 	// update is applied with this probability. This implements the
 	// "more stochastic FSM" hardware mitigation sketched in §10.2.
@@ -38,16 +46,19 @@ func New(spec *fsm.Spec, size int) *Table {
 	if size <= 0 {
 		panic("pht: table size must be positive")
 	}
-	t := &Table{spec: spec, entries: make([]uint8, size), updateProb: 1}
+	t := &Table{spec: spec, entries: make([]uint8, size), plane: spec.Plane(), updateProb: 1}
 	t.Reset()
 	return t
 }
 
 // SetStochastic makes updates apply only with probability p, drawing
 // randomness from rnd. Passing p >= 1 restores deterministic updates.
+// The deterministic/stochastic fork is resolved here, once, not per
+// update.
 func (t *Table) SetStochastic(p float64, rnd *rng.Source) {
 	t.updateProb = p
 	t.rnd = rnd
+	t.stochastic = p < 1 && rnd != nil
 }
 
 // Size returns the number of entries.
@@ -68,13 +79,42 @@ func (t *Table) Predict(idx int) bool {
 	return t.spec.Predict(t.entries[idx])
 }
 
-// Update advances entry idx by one observed outcome.
+// Update advances entry idx by one observed outcome. The deterministic
+// fast path is branch-free apart from the taken bit: a direct step
+// through the compiled transition plane. Stochastic tables (§10.2
+// mitigation) take the retained slow path, whose per-update randomness
+// draw order is unchanged.
 func (t *Table) Update(idx int, taken bool) {
-	if t.updateProb < 1 && t.rnd != nil && !t.rnd.Chance(t.updateProb) {
+	if t.stochastic {
+		t.updateStochastic(idx, taken)
+		return
+	}
+	b := uint(0)
+	if taken {
+		b = 1
+	}
+	t.entries[idx] = t.plane[uint(t.entries[idx])<<1|b]
+}
+
+func (t *Table) updateStochastic(idx int, taken bool) {
+	if !t.rnd.Chance(t.updateProb) {
 		return
 	}
 	t.entries[idx] = t.spec.Next(t.entries[idx], taken)
 }
+
+// Raw exposes the live entry array and the compiled transition plane so
+// the BPU can step counters inline on its per-branch path without a
+// method call per update. Callers must treat the plane as immutable and
+// must not resize either slice; entry writes must go through the same
+// transition discipline Update enforces. Restore copies in place, so
+// the slices stay valid for the table's lifetime.
+func (t *Table) Raw() (entries, plane []uint8) { return t.entries, t.plane }
+
+// Stochastic reports whether updates currently take the stochastic slow
+// path (§10.2 mitigation). Callers inlining updates via Raw must check
+// this once and fall back to Update when set.
+func (t *Table) Stochastic() bool { return t.stochastic }
 
 // State returns the internal FSM state of entry idx. This is a simulator
 // inspection hook used by white-box tests and ground-truth checks; attack
@@ -133,7 +173,7 @@ func (t *Table) Introspect() Introspection {
 	return in
 }
 
-// fold mixes the high half of a branch address into its low bits before
+// Fold mixes the high half of a branch address into its low bits before
 // table indexing. Real front-ends hash a wide slice of the address (prior
 // BTB work exploited address bits up to bit 30); a pure low-bit modulo
 // would make all address bits above the table index invisible, which
@@ -141,9 +181,22 @@ func (t *Table) Introspect() Introspection {
 // de-randomize ASLR slides (§9.2). The fold preserves every observation
 // of §6.3: single-byte index granularity, and exact periodicity at the
 // table size within any 64 KiB-aligned probing window (the paper's Figure
-// 5 window 0x300000–0x30ffff is one such window).
-func fold(addr uint64) uint64 {
+// 5 window 0x300000–0x30ffff is one such window). It is exported so the
+// BPU's resolved-site cache (see internal/bpu) can hoist it out of the
+// per-branch gshare index computation.
+func Fold(addr uint64) uint64 {
 	return addr ^ (addr >> 16)
+}
+
+// IndexMod reduces a hash to a table index. Every realistic table size
+// in the model is a power of two, where the reduction is a single mask;
+// the modulo fallback keeps arbitrary sizes (e.g. odd partition spans)
+// producing bit-identical values to the original `%`-based indexing.
+func IndexMod(x uint64, size int) int {
+	if m := uint64(size) - 1; uint64(size)&m == 0 {
+		return int(x & m)
+	}
+	return int(x % uint64(size))
 }
 
 // BimodalIndex maps a branch address to a PHT entry for the 1-level
@@ -151,14 +204,14 @@ func fold(addr uint64) uint64 {
 // granularity as discovered in §6.3 ("the granularity of PHT's indexing
 // function is a single byte").
 func BimodalIndex(addr uint64, size int) int {
-	return int(fold(addr) % uint64(size))
+	return IndexMod(Fold(addr), size)
 }
 
 // GshareIndex maps a branch address and global history register value to
 // a PHT entry for the 2-level predictor: the folded address XORed with
 // the history, modulo table size.
 func GshareIndex(addr, ghr uint64, size int) int {
-	return int((fold(addr) ^ ghr) % uint64(size))
+	return IndexMod(Fold(addr)^ghr, size)
 }
 
 // KeyedIndex is the randomized-index mitigation of §10.2: the address is
@@ -173,5 +226,5 @@ func KeyedIndex(addr, key uint64, size int) int {
 	x ^= x >> 33
 	x *= 0xc4ceb9fe1a85ec53
 	x ^= x >> 33
-	return int(x % uint64(size))
+	return IndexMod(x, size)
 }
