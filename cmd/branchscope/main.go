@@ -12,6 +12,7 @@
 //	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
 //	            [-leakage-out lk.json] [-introspect-out pht.json]
+//	            [-archive dir]
 //	            [-log-format text|json] [-log-level info]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -28,7 +29,10 @@
 // branchscope.ledger/v1 provenance record for the run (config, seed,
 // outcome, error-rate digest, metrics delta, flattened leakage
 // gauges). -v additionally prints a metrics summary table with
-// p50/p95/p99 cycle quantiles.
+// p50/p95/p99 cycle quantiles. -archive <dir> snapshots every sink
+// plus a branchscope.run/v1 manifest under <dir>/<run-id>/, where
+// <run-id> digests only the result-shaping knobs (see
+// internal/runstore; inspect archives with cmd/bsctl).
 //
 // Leakage analytics (see internal/leakage and DESIGN §3.17): every run
 // streams per-window channel-quality estimates — BER, mutual
@@ -46,6 +50,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -56,8 +61,10 @@ import (
 
 	"branchscope/internal/cliutil"
 	"branchscope/internal/cpu"
+	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
 	"branchscope/internal/obs"
+	"branchscope/internal/runstore"
 	"branchscope/internal/telemetry"
 	"branchscope/internal/trace"
 	"branchscope/internal/uarch"
@@ -182,6 +189,29 @@ func run() (code int) {
 	if rc := obsFlags.RetryConfig(); rc != nil {
 		cfg.Retry = *rc
 	}
+
+	// Causal run identity over the result-shaping knobs only (sink
+	// paths and execution shape excluded); stamped into the ledger
+	// record, /statusz, and — under -archive — the run manifest.
+	idCfg, err := obsFlags.IdentityConfig(*seed)
+	if err != nil {
+		return usageErr("branchscope: %v", err)
+	}
+	idCfg["model"] = m.Name
+	idCfg["bits"] = *bits
+	idCfg["runs"] = *runs
+	idCfg["pattern"] = *pattern
+	idCfg["setting"] = setting.String()
+	idCfg["sgx"] = *sgxMode
+	idCfg["timing"] = *timing
+	identity := runstore.Identity{
+		Program: "branchscope", BaseSeed: *seed, Tasks: []string{"covert"}, Config: idCfg,
+	}
+	runID := identity.RunID()
+	sess.SetRunID(runID)
+	arc := obsFlags.Archiver(identity)
+	sess.SetArchiver(arc)
+
 	var recorders []*trace.Recorder
 	if *traced {
 		cfg.SpyHook = func(ctx *cpu.Context) {
@@ -247,6 +277,7 @@ func run() (code int) {
 	rec.Leakage = obs.LeakageFields(rec.MetricsDelta)
 	if err != nil {
 		rec.Error = err.Error()
+		arc.Record(runstore.TaskOutcome{ID: "covert", Seed: *seed, Outcome: rec.Outcome, Error: err.Error()})
 		if lerr := sess.Ledger.Append(rec); lerr != nil {
 			sess.Log.Error("appending ledger record", "err", lerr)
 		}
@@ -256,6 +287,22 @@ func run() (code int) {
 	rec.ResultDigest = obs.Digest(res.String())
 	if lerr := sess.Ledger.Append(rec); lerr != nil {
 		sess.Log.Error("appending ledger record", "err", lerr)
+	}
+	arc.Record(runstore.TaskOutcome{ID: "covert", Seed: *seed, Outcome: rec.Outcome})
+	if arc != nil {
+		arc.AddBlob("report", []byte(res.String()))
+		rep := engine.Report{
+			Task:   engine.Task{ID: "covert", Artifact: "covert channel"},
+			Seed:   *seed,
+			RunID:  runID,
+			Result: res,
+		}
+		var export bytes.Buffer
+		if werr := engine.WriteJSON(&export, engine.ExportMeta{BaseSeed: *seed, RunID: runID}, []engine.Report{rep}); werr != nil {
+			sess.Log.Error("rendering archive export", "err", werr)
+		} else {
+			arc.AddBlob("export", export.Bytes())
+		}
 	}
 	sess.Log.Info("task done", "id", "covert", "outcome", "ok",
 		"wall", wall.String(), "error_rate", res.ErrorRate)

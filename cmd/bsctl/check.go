@@ -1,0 +1,68 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"branchscope/internal/runstore"
+)
+
+// cmdCheck is the cross-run regression gate: it loads baseline samples
+// (an archive of runs, a single run, a directory of pinned BENCH
+// JSONs, or one JSON file), loads the candidate paths the same way,
+// and flags any shared metric drifting outside the robust median/MAD
+// envelope. Exit 1 on drift makes it a drop-in CI gate — the
+// cross-machine sibling of TestHotpathGuardrail.
+func cmdCheck(args []string) (bool, error) {
+	fs := flag.NewFlagSet("bsctl check", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "baseline: archive dir, run dir, bench-JSON dir, or one JSON file (required)")
+	opt := runstore.DefaultCheckOptions()
+	fs.Float64Var(&opt.MADK, "madk", opt.MADK, "allowed deviation in normalized MADs of the baseline")
+	fs.Float64Var(&opt.Rel, "rel", opt.Rel, "relative tolerance floor for dimensionless metrics")
+	fs.Float64Var(&opt.RelNoisy, "rel-noisy", opt.RelNoisy, "relative tolerance floor for wall-clock (ns/seconds) metrics")
+	fs.Float64Var(&opt.Abs, "abs", opt.Abs, "absolute tolerance floor (protects near-zero baselines)")
+	fs.Parse(args)
+	if *baseline == "" {
+		return false, errors.New("check requires -baseline")
+	}
+	if fs.NArg() == 0 {
+		return false, errors.New("check takes at least one candidate path")
+	}
+
+	base, err := runstore.LoadSamples(*baseline)
+	if err != nil {
+		return false, fmt.Errorf("baseline: %w", err)
+	}
+	cand := runstore.Sample{}
+	for _, path := range fs.Args() {
+		samples, err := runstore.LoadSamples(path)
+		if err != nil {
+			return false, fmt.Errorf("candidate: %w", err)
+		}
+		for _, s := range samples {
+			for k, v := range s {
+				cand[k] = v
+			}
+		}
+	}
+
+	findings := runstore.Check(base, cand, opt)
+	if len(findings) == 0 {
+		return false, errors.New("baseline and candidate share no metrics — nothing was checked")
+	}
+	for _, f := range findings {
+		verdict := "ok   "
+		if f.Drift {
+			verdict = "DRIFT"
+		}
+		fmt.Printf("%s %-45s value=%-12.6g median=%-12.6g tol=%.6g\n",
+			verdict, f.Metric, f.Value, f.Median, f.Tol)
+	}
+	if n := runstore.Drifted(findings); n > 0 {
+		fmt.Printf("%d of %d metrics drifted beyond the baseline envelope\n", n, len(findings))
+		return true, nil
+	}
+	fmt.Printf("all %d shared metrics within the baseline envelope\n", len(findings))
+	return false, nil
+}

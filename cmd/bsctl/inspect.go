@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"branchscope/internal/obs"
+	"branchscope/internal/runstore"
+)
+
+// cmdList prints one line per archived run under a directory.
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("bsctl list", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("list takes exactly one archive directory")
+	}
+	runs, err := runstore.List(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		fmt.Println("no archived runs")
+		return nil
+	}
+	for _, m := range runs {
+		fmt.Printf("%s  program=%s seed=%d quick=%v tasks=%d %s\n",
+			m.RunID, m.Identity.Program, m.Identity.BaseSeed, m.Identity.Quick,
+			len(m.Outcomes), countsLine(m.Counts))
+	}
+	return nil
+}
+
+// countsLine renders outcome counts in sorted-key order ("ok=6").
+func countsLine(counts map[string]int) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, counts[k])
+	}
+	return b.String()
+}
+
+// cmdShow renders one run's manifest: identity, outcomes, artifacts
+// with digests — and, when the run archived a ledger, its record count
+// and torn-tail state.
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("bsctl show", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("show takes exactly one run directory or manifest path")
+	}
+	dir, m, err := runstore.LoadRun(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run     %s\n", m.RunID)
+	fmt.Printf("program %s  seed=%d quick=%v\n", m.Identity.Program, m.Identity.BaseSeed, m.Identity.Quick)
+	fmt.Printf("tasks   %v\n", m.Identity.Tasks)
+	if len(m.Identity.Config) > 0 {
+		keys := make([]string, 0, len(m.Identity.Config))
+		for k := range m.Identity.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Print("config  ")
+		for i, k := range keys {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s=%v", k, m.Identity.Config[k])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("counts  %s\n", countsLine(m.Counts))
+	if m.DegradedProbes > 0 {
+		fmt.Printf("degraded_probes %d\n", m.DegradedProbes)
+	}
+	for _, b := range m.Breakers {
+		fmt.Printf("breaker %s state=%s skipped=%d\n", b.Family, b.State, b.Skipped)
+	}
+	fmt.Println("outcomes:")
+	for _, o := range m.Outcomes {
+		line := fmt.Sprintf("  %-12s %-10s seed=%d", o.ID, o.Outcome, o.Seed)
+		if o.Attempts > 1 {
+			line += fmt.Sprintf(" attempts=%d", o.Attempts)
+		}
+		if o.Error != "" {
+			line += " error=" + o.Error
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("artifacts:")
+	for _, a := range m.Artifacts {
+		switch {
+		case a.Volatile:
+			fmt.Printf("  %-16s %-12s (volatile)\n", a.Name, a.Kind)
+		default:
+			fmt.Printf("  %-16s %-12s %s\n", a.Name, a.Kind, a.Digest)
+		}
+	}
+	// An archived ledger gets its tail checked here too: show is often
+	// the first stop after a crashed run.
+	ledgerPath := filepath.Join(dir, "ledger.jsonl")
+	if f, err := os.Open(ledgerPath); err == nil {
+		recs, torn, rerr := obs.ReadLedger(f)
+		f.Close()
+		switch {
+		case rerr != nil:
+			fmt.Printf("ledger: unreadable: %v\n", rerr)
+		case torn:
+			fmt.Printf("ledger: %d records — WARNING: torn final record (crash mid-append), ignored\n", len(recs))
+		default:
+			fmt.Printf("ledger: %d records\n", len(recs))
+		}
+	}
+	return nil
+}
+
+// cmdTail prints a run-provenance ledger's records, one line each,
+// tolerating (and flagging) a torn final record. With -f it keeps
+// polling the file and prints records as tasks complete — following a
+// live run's ledger from another terminal.
+func cmdTail(args []string) error {
+	fs := flag.NewFlagSet("bsctl tail", flag.ExitOnError)
+	follow := fs.Bool("f", false, "follow the ledger, printing new records as they land")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval with -f")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("tail takes exactly one ledger path")
+	}
+	path := fs.Arg(0)
+
+	printed := 0
+	warned := false
+	emit := func() error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		recs, torn, err := obs.ReadLedger(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs[printed:] {
+			line := fmt.Sprintf("%-12s %-10s seed=%d", rec.ID, rec.Outcome, rec.Seed)
+			if rec.RunID != "" {
+				line += " run=" + rec.RunID
+			}
+			if rec.Error != "" {
+				line += " error=" + rec.Error
+			}
+			fmt.Println(line)
+		}
+		printed = len(recs)
+		if torn && !*follow && !warned {
+			// A torn tail mid-follow is normal (an append in flight);
+			// only a final torn record is worth a warning.
+			fmt.Fprintln(os.Stderr, "bsctl: WARNING: torn final record (crash mid-append), ignored")
+			warned = true
+		}
+		return nil
+	}
+	if err := emit(); err != nil {
+		return err
+	}
+	for *follow {
+		time.Sleep(*interval)
+		if err := emit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

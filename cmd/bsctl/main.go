@@ -1,0 +1,67 @@
+// Command bsctl inspects branchscope run archives: the manifests,
+// ledgers and leakage reports that -archive (and -ledger-out) leave
+// behind. It is the operator half of internal/runstore — the CLIs
+// write archives, bsctl answers questions about them:
+//
+//	bsctl list <archive-dir>             # archived runs, one line each
+//	bsctl show <run-dir|manifest.json>   # one run's manifest + artifacts
+//	bsctl tail [-f] <ledger.jsonl>       # follow a live ledger, torn-tolerant
+//	bsctl diff [-all] <runA> <runB>      # structural diff; empty = same run
+//	bsctl check -baseline <path> <path>  # median/MAD regression gate
+//
+// Exit codes: 0 clean, 1 differences/drift/failed records, 2 usage or
+// I/O errors — so `bsctl diff` and `bsctl check` gate CI directly.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: bsctl <command> [args]
+
+commands:
+  list  <archive-dir>              list archived runs
+  show  <run-dir|manifest.json>    render one run's manifest and artifacts
+  tail  [-f] <ledger.jsonl>        print (and follow) a run-provenance ledger
+  diff  [-all] <runA> <runB>       structural diff of two archived runs
+  check -baseline <path> [flags] <candidate>...
+                                   robust regression gate vs a baseline
+`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	var dirty bool // differences or drift found (exit 1, not an error)
+	switch cmd := os.Args[1]; cmd {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "tail":
+		err = cmdTail(os.Args[2:])
+	case "diff":
+		dirty, err = cmdDiff(os.Args[2:])
+	case "check":
+		dirty, err = cmdCheck(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "bsctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bsctl: %v\n", err)
+		os.Exit(2)
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@
 //	            [-serve addr] [-ledger-out l.jsonl]
 //	            [-metrics-out m.json] [-trace-out t.json]
 //	            [-leakage-out lk.json] [-introspect-out pht.json]
+//	            [-archive dir]
 //	            [-log-format text|json] [-log-level info]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [id ...]
 //
@@ -80,9 +81,22 @@
 // report and predictor snapshot at exit. The live endpoints are
 // last-writer-wins diagnostics under -parallel; the per-cell numbers
 // in reports and ledger records stay deterministic.
+//
+// Run archive (see internal/runstore and DESIGN §3.19): every
+// invocation derives a causal run identity — a digest of the
+// result-shaping inputs (program, seed, quick, task list,
+// chaos/retry/breaker/timeout knobs) that deliberately excludes
+// execution shape (-parallel, -checkpoint/-resume, sink paths) — and
+// stamps it into the report export, every ledger record, the campaign
+// journal header, leakage reports, and /statusz. -archive <dir> also
+// writes a branchscope.run/v1 manifest plus copies of every sink under
+// <dir>/<run-id>/; the manifest is byte-identical at any -parallel and
+// across a crash+-resume. Inspect archives with cmd/bsctl
+// (list/show/tail/diff/check).
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -100,6 +114,7 @@ import (
 	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
 	"branchscope/internal/obs"
+	"branchscope/internal/runstore"
 	"branchscope/internal/telemetry"
 )
 
@@ -245,11 +260,34 @@ func run() (code int) {
 		defer experiments.SetDefaultRetry(nil)
 	}
 
+	// Causal run identity: a digest of the result-shaping inputs only,
+	// so the same logical run keeps one RunID across -parallel widths
+	// and crash+-resume. The ID is stamped everywhere results land; the
+	// archiver (nil without -archive, and nil-safe) snapshots every sink
+	// plus a branchscope.run/v1 manifest when the session closes.
+	idCfg, err := obsFlags.IdentityConfig(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	if *timeout > 0 {
+		idCfg["timeout"] = timeout.String()
+	}
+	identity := runstore.Identity{
+		Program: "experiments", BaseSeed: *seed, Quick: *quick, Tasks: ids, Config: idCfg,
+	}
+	runID := identity.RunID()
+	sess.SetRunID(runID)
+	arc := obsFlags.Archiver(identity)
+	sess.SetArchiver(arc)
+	arc.AddFile("journal", obsFlags.Checkpoint)
+	arc.AddFile("md", *mdPath)
+
 	// -checkpoint/-resume make the suite durable: every outcome is
 	// journaled as it completes, and a resumed run replays the journal
 	// and re-runs only what's missing, with the same derived seeds.
 	camp, err := obsFlags.Campaign(campaign.Header{
-		Program: "experiments", BaseSeed: *seed, Quick: *quick, Tasks: ids,
+		Program: "experiments", BaseSeed: *seed, Quick: *quick, Tasks: ids, RunID: runID,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -288,6 +326,7 @@ func run() (code int) {
 	var done atomic.Int64
 	runner := &engine.Runner{
 		Pool:     pool,
+		RunID:    runID,
 		Timeout:  *timeout,
 		Retry:    obsFlags.RetryPolicy(),
 		Watchdog: obsFlags.Watchdog,
@@ -358,6 +397,45 @@ func run() (code int) {
 	}
 	engine.FormatText(os.Stdout, reports)
 
+	if arc != nil {
+		// The archived report/export blobs are rendered over a
+		// wall-zeroed copy so the manifest digests stay byte-identical
+		// across -parallel widths and crash+-resume (campaign mode has
+		// already zeroed Wall; plain runs haven't).
+		arcReports := append([]engine.Report(nil), reports...)
+		for i := range arcReports {
+			arcReports[i].Wall = 0
+		}
+		for _, rep := range arcReports {
+			o := runstore.TaskOutcome{
+				ID: rep.Task.ID, Seed: rep.Seed,
+				Outcome: rep.Outcome(), Attempts: rep.Attempts,
+			}
+			if rep.Err != nil {
+				o.Error = rep.Err.Error()
+			}
+			arc.Record(o)
+		}
+		var report, export bytes.Buffer
+		engine.FormatText(&report, arcReports)
+		arc.AddBlob("report", report.Bytes())
+		if err := engine.WriteJSON(&export, engine.ExportMeta{BaseSeed: *seed, Quick: *quick, RunID: runID}, arcReports); err != nil {
+			sess.Log.Error("rendering archive export", "err", err)
+		} else {
+			arc.AddBlob("export", export.Bytes())
+		}
+		var sums []runstore.BreakerSummary
+		for _, b := range breakers.Status() {
+			if b.State != "closed" || b.Skipped > 0 {
+				sums = append(sums, runstore.BreakerSummary{Family: b.Family, State: b.State, Skipped: b.Skipped})
+			}
+		}
+		arc.SetBreakers(sums)
+		if reg != nil {
+			arc.SetDegradedProbes(reg.Counter("core.probe.degradations").Value())
+		}
+	}
+
 	if *mdPath != "" {
 		var md strings.Builder
 		scale := "full scale"
@@ -386,7 +464,7 @@ func run() (code int) {
 	}
 	if *jsonPath != "" {
 		err := cliutil.WriteFile(*jsonPath, func(w io.Writer) error {
-			return engine.WriteJSON(w, engine.ExportMeta{BaseSeed: *seed, Quick: *quick}, reports)
+			return engine.WriteJSON(w, engine.ExportMeta{BaseSeed: *seed, Quick: *quick, RunID: runID}, reports)
 		})
 		if err != nil {
 			sess.Log.Error("writing JSON export", "path", *jsonPath, "err", err)

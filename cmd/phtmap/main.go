@@ -10,7 +10,7 @@
 //	       [-chaos light|moderate|heavy|FLOAT|JSON] [-chaos-seed 0]
 //	       [-serve addr] [-ledger-out l.jsonl]
 //	       [-metrics-out m.json] [-trace-out t.json]
-//	       [-introspect-out pht.json]
+//	       [-introspect-out pht.json] [-archive dir]
 //	       [-log-format text|json] [-log-level info]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -21,6 +21,9 @@
 // /metrics, /statusz, /healthz, /readyz and /debug/pprof live during
 // the run; -ledger-out appends one branchscope.ledger/v1 provenance
 // record with the run's config, seed, outcome and result digest.
+// -archive <dir> snapshots every sink plus a branchscope.run/v1
+// manifest under <dir>/<run-id>/, where <run-id> digests only the
+// result-shaping knobs (see internal/runstore; inspect with cmd/bsctl).
 //
 // Predictor introspection (see DESIGN §3.17): after the mapping pass
 // RunFig5 publishes the decoded machine's BPU snapshot — per-entry
@@ -37,6 +40,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -48,8 +52,10 @@ import (
 
 	"branchscope/internal/chaos"
 	"branchscope/internal/cliutil"
+	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
 	"branchscope/internal/obs"
+	"branchscope/internal/runstore"
 	"branchscope/internal/sched"
 	"branchscope/internal/telemetry"
 	"branchscope/internal/uarch"
@@ -137,6 +143,28 @@ func run() (code int) {
 		}
 	}
 
+	// Causal run identity over the result-shaping knobs only (sink
+	// paths and execution shape excluded); stamped into the ledger
+	// record, /statusz, and — under -archive — the run manifest.
+	idCfg, err := obsFlags.IdentityConfig(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phtmap:", err)
+		flag.Usage()
+		return 2
+	}
+	idCfg["model"] = m.Name
+	idCfg["start"] = *start
+	idCfg["addresses"] = *count
+	idCfg["block"] = *block
+	idCfg["pairs"] = *pairs
+	identity := runstore.Identity{
+		Program: "phtmap", BaseSeed: *seed, Tasks: []string{"fig5"}, Config: idCfg,
+	}
+	runID := identity.RunID()
+	sess.SetRunID(runID)
+	arc := obsFlags.Archiver(identity)
+	sess.SetArchiver(arc)
+
 	tracker.Begin("fig5", *seed)
 	sess.Deltas.Begin("fig5")
 	sess.Log.Info("task start", "id", "fig5", "seed", *seed, "model", m.Name, "start", *start)
@@ -181,6 +209,7 @@ func run() (code int) {
 	rec.Leakage = obs.LeakageFields(rec.MetricsDelta)
 	if err != nil {
 		rec.Error = err.Error()
+		arc.Record(runstore.TaskOutcome{ID: "fig5", Seed: *seed, Outcome: rec.Outcome, Error: err.Error()})
 		if lerr := sess.Ledger.Append(rec); lerr != nil {
 			sess.Log.Error("appending ledger record", "err", lerr)
 		}
@@ -190,6 +219,22 @@ func run() (code int) {
 	rec.ResultDigest = obs.Digest(res.String())
 	if lerr := sess.Ledger.Append(rec); lerr != nil {
 		sess.Log.Error("appending ledger record", "err", lerr)
+	}
+	arc.Record(runstore.TaskOutcome{ID: "fig5", Seed: *seed, Outcome: rec.Outcome})
+	if arc != nil {
+		arc.AddBlob("report", []byte(res.String()))
+		rep := engine.Report{
+			Task:   engine.Task{ID: "fig5", Artifact: "Figure 5"},
+			Seed:   *seed,
+			RunID:  runID,
+			Result: res,
+		}
+		var export bytes.Buffer
+		if werr := engine.WriteJSON(&export, engine.ExportMeta{BaseSeed: *seed, RunID: runID}, []engine.Report{rep}); werr != nil {
+			sess.Log.Error("rendering archive export", "err", werr)
+		} else {
+			arc.AddBlob("export", export.Bytes())
+		}
 	}
 	sess.Log.Info("task done", "id", "fig5", "outcome", "ok", "wall", wall.String())
 	fmt.Print(res)

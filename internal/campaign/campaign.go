@@ -97,6 +97,9 @@ func Resume(path string, want Header) (*Campaign, error) {
 
 // headerMatches verifies a loaded journal belongs to the resuming run.
 func headerMatches(got, want Header) error {
+	if got.RunID != "" && want.RunID != "" && got.RunID != want.RunID {
+		return fmt.Errorf("campaign: journal belongs to run %s, this run is %s", got.RunID, want.RunID)
+	}
 	if got.Program != want.Program {
 		return fmt.Errorf("campaign: journal belongs to program %q, this run is %q", got.Program, want.Program)
 	}
@@ -172,6 +175,9 @@ func (c *Campaign) Run(ctx context.Context, r *engine.Runner, tasks []engine.Tas
 			continue
 		}
 		rep := replayReport(t, rec)
+		// Replayed reports carry the live runner's identity like fresh
+		// ones: the run identity is invocation-scoped, not attempt-scoped.
+		rep.RunID = r.RunID
 		replayed[t.ID] = rep
 		if orig != nil {
 			orig(rep)

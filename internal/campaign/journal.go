@@ -40,7 +40,11 @@ const Schema = "branchscope.campaign/v1"
 // task outcomes into a run with a different seed, scale or task list
 // would silently splice unrelated results together.
 type Header struct {
-	Schema   string `json:"schema"`
+	Schema string `json:"schema"`
+	// RunID is the run's causal identity (see internal/runstore).
+	// Resume requires it to match when both sides carry one; empty on
+	// either side is tolerated so pre-identity journals stay loadable.
+	RunID    string `json:"run_id,omitempty"`
 	Program  string `json:"program"`
 	BaseSeed uint64 `json:"base_seed"`
 	Quick    bool   `json:"quick"`

@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"branchscope/internal/campaign"
@@ -29,6 +30,7 @@ import (
 	"branchscope/internal/engine"
 	"branchscope/internal/leakage"
 	"branchscope/internal/obs"
+	"branchscope/internal/runstore"
 	"branchscope/internal/telemetry"
 )
 
@@ -64,6 +66,10 @@ type Flags struct {
 	Resume     bool
 	Watchdog   time.Duration
 	Breaker    int
+	// Archive is the run-archive root: at Close the session writes
+	// <dir>/<run-id>/ with a branchscope.run/v1 manifest plus copies of
+	// every sink the run produced. See internal/runstore.
+	Archive string
 }
 
 // Register installs the shared flags on fs.
@@ -85,6 +91,7 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Resume, "resume", false, "resume an interrupted campaign from the -checkpoint journal: replay completed tasks, re-run the rest with the same derived seeds")
 	fs.DurationVar(&f.Watchdog, "watchdog", 0, "soft per-task deadline: tasks running past it are marked stuck in /statusz and logs but keep running (0 = off)")
 	fs.IntVar(&f.Breaker, "breaker", 0, "open a per-family circuit breaker after N consecutive permanent task failures, skipping the family's remaining tasks (0 = off)")
+	fs.StringVar(&f.Archive, "archive", "", "archive this run under <dir>/<run-id>/: a branchscope.run/v1 manifest plus copies of every sink (inspect with bsctl)")
 }
 
 // ChaosPlan resolves -chaos/-chaos-seed into a fault plan. It returns
@@ -108,6 +115,47 @@ func (f Flags) ChaosPlan(baseSeed uint64) (*chaos.Plan, error) {
 		return nil, nil
 	}
 	return &plan, nil
+}
+
+// IdentityConfig assembles the shared result-shaping flags for a
+// runstore.Identity's Config: the retry budget, the breaker threshold,
+// and the chaos plan — with its crash spec zeroed first, because a
+// crash point only decides *whether* the process survives, never what
+// the surviving measurements contain (crash-only plans install no
+// injector), and a crashed run must resume under the same RunID as the
+// uninterrupted oracle it is compared against. Execution-shape flags
+// (-parallel, -checkpoint/-resume, -watchdog, sink paths) are
+// deliberately absent. Callers merge in their program-specific knobs.
+func (f Flags) IdentityConfig(baseSeed uint64) (map[string]any, error) {
+	cfg := map[string]any{}
+	if f.Retry > 0 {
+		cfg["retry"] = f.Retry
+	}
+	if f.Breaker > 0 {
+		cfg["breaker"] = f.Breaker
+	}
+	plan, err := f.ChaosPlan(baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		p := *plan
+		p.Crash = chaos.Spec{}
+		if p.HasEpisodeFaults() {
+			cfg["chaos"] = p.String()
+		}
+	}
+	return cfg, nil
+}
+
+// Archiver resolves -archive into a run archiver for id, nil (a valid
+// no-op sink) when no archive was requested. Attach it to the session
+// with SetArchiver so Close writes it after the sinks flush.
+func (f Flags) Archiver(id runstore.Identity) *runstore.Archiver {
+	if f.Archive == "" {
+		return nil
+	}
+	return runstore.New(f.Archive, id)
 }
 
 // Campaign resolves -checkpoint/-resume into a durable campaign: nil
@@ -196,6 +244,15 @@ type Session struct {
 	cpuFile    *os.File
 	server     *obs.Handle
 	closed     bool
+
+	// runID is set by SetRunID after the CLI derives its identity —
+	// potentially while the obs server is already serving scrapes, so
+	// reads go through an atomic.
+	runID atomic.Pointer[string]
+	// ledgerTorn records that the reopened ledger had a torn final
+	// record (truncated before append); surfaced in /statusz.
+	ledgerTorn bool
+	archiver   *runstore.Archiver
 }
 
 // NewSession validates the shared flags and opens every requested
@@ -220,6 +277,16 @@ func NewSession(prog string, f Flags, o Options) (*Session, error) {
 		s.Trace = telemetry.NewTracer()
 	}
 	if f.LedgerOut != "" {
+		// Heal a torn final record before appending: once new lines land
+		// behind it, the torn line would read as mid-file corruption.
+		torn, err := obs.RepairLedgerTail(f.LedgerOut)
+		if err != nil {
+			log.Warn("ledger tail check failed; appending anyway", "path", f.LedgerOut, "err", err)
+		} else if torn {
+			s.ledgerTorn = true
+			log.Warn("ledger had a torn final record (crash mid-append); truncated it before reopening",
+				"path", f.LedgerOut)
+		}
 		lf, err := os.OpenFile(f.LedgerOut, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("%s: opening ledger: %w", prog, err)
@@ -245,10 +312,20 @@ func NewSession(prog string, f Flags, o Options) (*Session, error) {
 		srv := &obs.Server{
 			Program:    prog,
 			Metrics:    s.Metrics,
-			Status:     o.Status,
+			Status:     s.wrapStatus(o.Status),
 			Ready:      o.Ready,
 			Introspect: leakage.LatestIntrospection,
 			Log:        log,
+		}
+		if f.Archive != "" {
+			dir := f.Archive
+			srv.Runs = func() (any, error) {
+				ms, err := runstore.List(dir)
+				if ms == nil {
+					ms = []runstore.Manifest{}
+				}
+				return ms, err
+			}
 		}
 		h, err := srv.Start(f.Serve)
 		if err != nil {
@@ -258,9 +335,67 @@ func NewSession(prog string, f Flags, o Options) (*Session, error) {
 		}
 		s.server = h
 		log.Info("observability server listening",
-			"addr", h.Addr(), "endpoints", "/metrics /leakage /introspect/pht /statusz /healthz /readyz /debug/pprof")
+			"addr", h.Addr(), "endpoints", "/metrics /leakage /introspect/pht /statusz /runs /healthz /readyz /debug/pprof")
 	}
 	return s, nil
+}
+
+// wrapStatus stamps the session's run identity and ledger-tail health
+// into every /statusz document the CLI's status func renders.
+func (s *Session) wrapStatus(status func() obs.Status) func() obs.Status {
+	return func() obs.Status {
+		st := obs.Status{Schema: obs.StatusSchema, Program: s.prog}
+		if status != nil {
+			st = status()
+		}
+		st.RunID = s.RunID()
+		st.LedgerTorn = s.ledgerTorn
+		return st
+	}
+}
+
+// SetRunID installs the run's causal identity on every sink the
+// session owns: ledger records, leakage reports, and /statusz. Call it
+// as soon as the identity is derived (before tasks run).
+func (s *Session) SetRunID(id string) {
+	if s == nil || id == "" {
+		return
+	}
+	s.runID.Store(&id)
+	s.Ledger.SetRunID(id)
+	leakage.SetRunID(id)
+}
+
+// RunID returns the identity installed by SetRunID ("" before).
+func (s *Session) RunID() string {
+	if s == nil {
+		return ""
+	}
+	p := s.runID.Load()
+	if p == nil {
+		return ""
+	}
+	return *p
+}
+
+// LedgerTorn reports whether the session truncated a torn final record
+// off the reopened ledger.
+func (s *Session) LedgerTorn() bool { return s != nil && s.ledgerTorn }
+
+// SetArchiver attaches the run archiver the session writes at Close,
+// and schedules every session-owned sink file for archiving. The CLI
+// remains responsible for recording task outcomes and the canonical
+// report/export blobs on the archiver. Nil-safe both ways.
+func (s *Session) SetArchiver(a *runstore.Archiver) {
+	if s == nil {
+		return
+	}
+	s.archiver = a
+	a.AddFile("ledger", s.flags.LedgerOut)
+	a.AddFile("metrics", s.flags.MetricsOut)
+	a.AddFile("trace", s.flags.TraceOut)
+	a.AddFile("leakage", s.flags.LeakageOut)
+	a.AddFile("introspect", s.flags.IntrospectOut)
 }
 
 func (s *Session) stopProfile() {
@@ -335,6 +470,14 @@ func (s *Session) Close() error {
 			s.Log.Info("ledger appended", "path", s.flags.LedgerOut, "schema", obs.LedgerSchema)
 		}
 		s.ledgerFile = nil
+	}
+	if s.archiver != nil {
+		// After the sink flushes above, so the archive copies final bytes.
+		if dir, err := s.archiver.Write(); err != nil {
+			errs = append(errs, fmt.Errorf("writing run archive: %w", err))
+		} else {
+			s.Log.Info("run archived", "dir", dir, "run_id", s.archiver.RunID(), "schema", runstore.Schema)
+		}
 	}
 	s.stopProfile()
 	if s.flags.MemProfile != "" {

@@ -16,6 +16,7 @@ import (
 	"branchscope/internal/campaign"
 	"branchscope/internal/engine"
 	"branchscope/internal/obs"
+	"branchscope/internal/runstore"
 	"branchscope/internal/telemetry"
 	"branchscope/internal/telemetry/promtext"
 )
@@ -34,6 +35,7 @@ func TestFlagRegistrationParity(t *testing.T) {
 		"log-format", "log-level", "cpuprofile", "memprofile",
 		"chaos", "chaos-seed", "retry",
 		"checkpoint", "resume", "watchdog", "breaker",
+		"archive",
 	}
 	for _, name := range want {
 		if fs.Lookup(name) == nil {
@@ -303,6 +305,145 @@ func TestCampaignFlagValidation(t *testing.T) {
 	defer c2.Journal.Close()
 	if len(c2.Replayed) != 1 || c2.Replayed[0].ID != "a" {
 		t.Errorf("resume replayed %+v, want record a", c2.Replayed)
+	}
+}
+
+// TestIdentityConfigShape pins what makes it into the run identity:
+// result-shaping flags yes, crash-only chaos no — a crash point only
+// decides whether the process survives, so the crashed run and its
+// resume must share a RunID with the uninterrupted oracle.
+func TestIdentityConfigShape(t *testing.T) {
+	cfg, err := (Flags{Retry: 3, Breaker: 2}).IdentityConfig(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg["retry"] != 3 || cfg["breaker"] != 2 {
+		t.Errorf("retry/breaker missing: %v", cfg)
+	}
+	if _, ok := cfg["chaos"]; ok {
+		t.Errorf("chaos present without -chaos: %v", cfg)
+	}
+
+	cfg, err = (Flags{Chaos: `{"crash":{"magnitude":3}}`}).IdentityConfig(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cfg["chaos"]; ok {
+		t.Errorf("crash-only chaos plan leaked into the identity: %v", cfg)
+	}
+
+	cfg, err = (Flags{Chaos: "moderate"}).IdentityConfig(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cfg["chaos"]; !ok {
+		t.Errorf("episode-fault chaos plan missing from the identity: %v", cfg)
+	}
+}
+
+// TestSessionArchiveLifecycle drives the full -archive path through a
+// session: identity → archiver → outcomes/blobs → Close writes the
+// run directory, and the ledger records carry the RunID.
+func TestSessionArchiveLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	archiveDir := filepath.Join(dir, "archive")
+	ledgerPath := filepath.Join(dir, "ledger.jsonl")
+	var logBuf bytes.Buffer
+	f := Flags{
+		LogFormat: "text", LogLevel: "info",
+		LedgerOut: ledgerPath, Archive: archiveDir,
+	}
+	s, err := NewSession("t", f, Options{LogWriter: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := runstore.Identity{Program: "t", BaseSeed: 1, Tasks: []string{"a"}}
+	arc := f.Archiver(id)
+	if arc == nil {
+		t.Fatal("-archive set but Archiver returned nil")
+	}
+	s.SetRunID(arc.RunID())
+	s.SetArchiver(arc)
+
+	s.Ledger.Append(obs.LedgerRecord{Program: "t", ID: "a", Outcome: "ok"})
+	arc.Record(runstore.TaskOutcome{ID: "a", Seed: 1, Outcome: "ok", Attempts: 1})
+	arc.AddBlob("report", []byte("a settled\n"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	runDir := filepath.Join(archiveDir, id.RunID())
+	_, m, err := runstore.LoadRun(runDir)
+	if err != nil {
+		t.Fatalf("archive not written: %v", err)
+	}
+	if m.RunID != id.RunID() || m.Counts["ok"] != 1 {
+		t.Errorf("manifest wrong: %+v", m)
+	}
+	kinds := map[string]bool{}
+	for _, a := range m.Artifacts {
+		kinds[a.Kind] = true
+	}
+	if !kinds["report"] || !kinds["ledger"] {
+		t.Errorf("artifacts missing report/ledger: %+v", m.Artifacts)
+	}
+
+	lf, err := os.Open(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	recs, torn, err := obs.ReadLedger(lf)
+	if err != nil || torn {
+		t.Fatalf("ledger unreadable: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != 1 || recs[0].RunID != id.RunID() {
+		t.Errorf("ledger record missing RunID: %+v", recs)
+	}
+}
+
+// TestSessionRepairsTornLedger: reopening a ledger whose final record
+// was torn by a crash truncates the torn line (otherwise the next
+// append would bury it mid-file as hard corruption) and flags the
+// session so /statusz can surface the loss.
+func TestSessionRepairsTornLedger(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "ledger.jsonl")
+	good := `{"schema":"branchscope.ledger/v1","program":"t","id":"a","config":{},"base_seed":1,"seed":1,"outcome":"ok","wall_seconds":0}` + "\n"
+	if err := os.WriteFile(ledgerPath, []byte(good+`{"schema":"branchscope.le`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	s, err := NewSession("t", Flags{LogFormat: "text", LogLevel: "info", LedgerOut: ledgerPath},
+		Options{LogWriter: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.LedgerTorn() {
+		t.Error("torn ledger tail not flagged on the session")
+	}
+	if !strings.Contains(logBuf.String(), "torn") {
+		t.Errorf("torn ledger not logged: %q", logBuf.String())
+	}
+	s.Ledger.Append(obs.LedgerRecord{Program: "t", ID: "b", Outcome: "ok"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lf, err := os.Open(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	recs, torn, err := obs.ReadLedger(lf)
+	if err != nil {
+		t.Fatalf("ledger corrupt after repair+append: %v", err)
+	}
+	if torn {
+		t.Error("ledger still torn after repair")
+	}
+	if len(recs) != 2 || recs[0].ID != "a" || recs[1].ID != "b" {
+		t.Errorf("ledger records = %+v, want a then b", recs)
 	}
 }
 

@@ -75,6 +75,10 @@ type Report struct {
 	// instead of a fresh run (see internal/campaign): Result renders the
 	// checkpointed bytes and Wall is zero.
 	Replayed bool
+	// RunID is the run's causal identity (see internal/runstore),
+	// stamped from Runner.RunID so every observer hook can join the
+	// report to its archive. Empty when the runner has no identity.
+	RunID string
 }
 
 // Runner executes tasks under the engine's scheduling policy.
@@ -113,6 +117,9 @@ type Runner struct {
 	// failing permanently (see BreakerSet). nil disables circuit
 	// breaking.
 	Breakers *BreakerSet
+	// RunID, when set, is stamped into every Report so downstream
+	// observers (ledger, archive) can join outcomes to a run identity.
+	RunID string
 }
 
 // RunTask executes one task with the runner's timeout, panic recovery,
@@ -122,7 +129,7 @@ type Runner struct {
 func (r *Runner) RunTask(ctx context.Context, t Task, cfg Config) Report {
 	ctx = WithPool(ctx, r.Pool)
 	taskSeed := DeriveSeed(cfg.Seed, t.ID)
-	rep := Report{Task: t, Seed: taskSeed}
+	rep := Report{Task: t, Seed: taskSeed, RunID: r.RunID}
 
 	if !r.Breakers.Admit(t.family()) {
 		// The family's breaker is open: don't even start the task (no
@@ -239,9 +246,10 @@ func (r *Runner) RunSuite(ctx context.Context, tasks []Task, cfg Config) []Repor
 				err = context.Canceled
 			}
 			reports[i] = Report{
-				Task: tasks[i],
-				Seed: DeriveSeed(cfg.Seed, tasks[i].ID),
-				Err:  fmt.Errorf("engine: task %s: %w", tasks[i].ID, err),
+				Task:  tasks[i],
+				Seed:  DeriveSeed(cfg.Seed, tasks[i].ID),
+				Err:   fmt.Errorf("engine: task %s: %w", tasks[i].ID, err),
+				RunID: r.RunID,
 			}
 			// Tasks skipped by cancellation never reach RunTask, but
 			// observers (progress, ledger) must still see them finish.
@@ -319,6 +327,10 @@ type ExportMeta struct {
 	BaseSeed uint64
 	// Quick records the scale the suite ran at.
 	Quick bool
+	// RunID, when set, stamps the export with the run's causal
+	// identity (see internal/runstore). Omitted from the JSON when
+	// empty, so exports without an identity keep their legacy shape.
+	RunID string
 }
 
 // WriteJSON writes reports as the structured export consumed by
@@ -326,6 +338,7 @@ type ExportMeta struct {
 //
 //	{
 //	  "schema": "branchscope.experiments/v1",
+//	  "run_id": <string>,        // causal run identity; omitted when unset
 //	  "base_seed": <uint>,       // suite base seed
 //	  "quick": <bool>,           // test-scale configurations?
 //	  "experiments": [
@@ -354,12 +367,14 @@ func WriteJSON(w io.Writer, meta ExportMeta, reports []Report) error {
 	}
 	type exportJSON struct {
 		Schema      string    `json:"schema"`
+		RunID       string    `json:"run_id,omitempty"`
 		BaseSeed    uint64    `json:"base_seed"`
 		Quick       bool      `json:"quick"`
 		Experiments []expJSON `json:"experiments"`
 	}
 	out := exportJSON{
 		Schema:      "branchscope.experiments/v1",
+		RunID:       meta.RunID,
 		BaseSeed:    meta.BaseSeed,
 		Quick:       meta.Quick,
 		Experiments: make([]expJSON, 0, len(reports)),

@@ -119,6 +119,10 @@ type SignalSummary struct {
 // yield zeros, never NaN/Inf (encoding/json rejects the specials).
 type Report struct {
 	Schema string `json:"schema"`
+	// RunID is the run's causal identity (see internal/runstore),
+	// stamped from the process-wide value set by SetRunID so archived
+	// leakage reports are joinable against their run manifest.
+	RunID string `json:"run_id,omitempty"`
 	// Bits is the total observed bit count (all confusion cells).
 	Bits uint64 `json:"bits"`
 	// Unknown counts bits the read path gave up on.
@@ -152,6 +156,7 @@ type Report struct {
 func (e *Estimator) Report() Report {
 	r := Report{
 		Schema:    Schema,
+		RunID:     RunID(),
 		Confusion: Confusion{Sent0: e.conf[0], Sent1: e.conf[1]},
 		Windows:   e.windows,
 	}
@@ -316,6 +321,23 @@ var (
 // PublishReport installs r as the process-wide latest leakage report.
 func PublishReport(r Report) {
 	liveReport.Store(&r)
+}
+
+var liveRunID atomic.Pointer[string]
+
+// SetRunID installs the process-wide run identity stamped into every
+// report Estimator.Report builds from then on.
+func SetRunID(id string) {
+	liveRunID.Store(&id)
+}
+
+// RunID returns the process-wide run identity ("" until SetRunID).
+func RunID() string {
+	p := liveRunID.Load()
+	if p == nil {
+		return ""
+	}
+	return *p
 }
 
 // LatestReport returns a copy of the latest published report, or nil

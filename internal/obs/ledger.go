@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 
@@ -25,7 +26,11 @@ const LedgerSchema = "branchscope.ledger/v1"
 // registry saw while it ran. RESULTS.md numbers become greppable
 // artifacts: `grep '"id":"table2"' ledger.jsonl | jq .result_digest`.
 type LedgerRecord struct {
-	Schema   string `json:"schema"`
+	Schema string `json:"schema"`
+	// RunID is the run's causal identity (see internal/runstore),
+	// stamped even when nothing is archived so a bare ledger stays
+	// joinable against archives and other ledgers after the fact.
+	RunID    string `json:"run_id,omitempty"`
 	Program  string `json:"program"`
 	ID       string `json:"id"`
 	Artifact string `json:"artifact,omitempty"`
@@ -65,21 +70,38 @@ func Digest(result string) string {
 // runner hooks never interleave lines. The nil Ledger is valid and
 // drops records, matching the telemetry layer's nil-safety idiom.
 type Ledger struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu    sync.Mutex
+	w     io.Writer
+	runID string
 }
 
 // NewLedger wraps w; the caller owns closing it.
 func NewLedger(w io.Writer) *Ledger { return &Ledger{w: w} }
 
+// SetRunID sets the run identity stamped into records whose caller
+// left RunID empty. Nil-safe.
+func (l *Ledger) SetRunID(id string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.runID = id
+	l.mu.Unlock()
+}
+
 // Append writes one record as a single JSON line, stamping the schema
-// if the caller left it empty.
+// and run identity if the caller left them empty.
 func (l *Ledger) Append(rec LedgerRecord) error {
 	if l == nil {
 		return nil
 	}
 	if rec.Schema == "" {
 		rec.Schema = LedgerSchema
+	}
+	if rec.RunID == "" {
+		l.mu.Lock()
+		rec.RunID = l.runID
+		l.mu.Unlock()
 	}
 	if rec.Config == nil {
 		rec.Config = map[string]any{}
@@ -205,6 +227,36 @@ func LeakageFields(delta *telemetry.Snapshot) map[string]float64 {
 		out[strings.TrimPrefix(g.Name, prefix)] = g.Value
 	}
 	return out
+}
+
+// RepairLedgerTail heals a ledger about to be reopened for append: a
+// process killed mid-append leaves a truncated final line, which
+// ReadLedger tolerates only while it stays final — the next append
+// would bury it mid-file and turn it into hard corruption. Repair
+// truncates the torn line off before that happens. Returns whether a
+// torn record was dropped. A missing file is fine (nothing to repair);
+// corruption *before* the final line is an error, not repairable.
+func RepairLedgerTail(path string) (torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("obs: repairing ledger: %w", err)
+	}
+	if _, torn, err = ReadLedger(bytes.NewReader(data)); err != nil {
+		return false, err
+	}
+	if !torn {
+		return false, nil
+	}
+	// Truncate at the start of the last non-blank line.
+	trimmed := bytes.TrimRight(data, " \t\r\n")
+	cut := bytes.LastIndexByte(trimmed, '\n') + 1 // 0 when it is the only line
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		return false, fmt.Errorf("obs: repairing ledger: %w", err)
+	}
+	return true, nil
 }
 
 // OutcomeOf classifies a single-run error the way engine.Report.Outcome

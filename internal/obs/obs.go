@@ -2,9 +2,9 @@
 // exposing the telemetry registry as Prometheus text (/metrics), the
 // channel-quality subset of it (/leakage), the latest predictor
 // introspection snapshot (/introspect/pht), suite progress as JSON
-// (/statusz), liveness and readiness probes, and the Go profiler
-// (/debug/pprof) — plus the structured logger and the run-provenance
-// ledger shared by the CLIs.
+// (/statusz), the archived run manifests (/runs), liveness and
+// readiness probes, and the Go profiler (/debug/pprof) — plus the
+// structured logger and the run-provenance ledger shared by the CLIs.
 //
 // Everything here lives outside the simulated machine: handlers read
 // wall clocks and atomics but never write into the simulator, so
@@ -43,6 +43,10 @@ type Server struct {
 	// snapshot (typically leakage.LatestIntrospection); nil or a nil
 	// return serves an "available": false document.
 	Introspect func() any
+	// Runs feeds /runs with the archived run manifests (typically a
+	// runstore.List closure over the -archive directory, injected by
+	// cliutil so obs stays a leaf). nil serves an empty listing.
+	Runs func() (any, error)
 	// Log receives handler errors; nil discards them.
 	Log *slog.Logger
 }
@@ -122,6 +126,31 @@ func (s *Server) Handler() http.Handler {
 			s.Log.Error("statusz render failed", "err", err)
 		}
 	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		doc := struct {
+			Schema string `json:"schema"`
+			Runs   any    `json:"runs"`
+		}{Schema: "branchscope.runs/v1", Runs: []any{}}
+		if s.Runs != nil {
+			runs, err := s.Runs()
+			if err != nil {
+				if s.Log != nil {
+					s.Log.Error("runs listing failed", "err", err)
+				}
+				http.Error(w, fmt.Sprintf("listing runs: %v", err), http.StatusInternalServerError)
+				return
+			}
+			if runs != nil {
+				doc.Runs = runs
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil && s.Log != nil {
+			s.Log.Error("runs render failed", "err", err)
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -133,7 +162,7 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "branchscope observability (%s)\nendpoints: /metrics /leakage /introspect/pht /statusz /healthz /readyz /debug/pprof/\n", s.Program)
+		fmt.Fprintf(w, "branchscope observability (%s)\nendpoints: /metrics /leakage /introspect/pht /statusz /runs /healthz /readyz /debug/pprof/\n", s.Program)
 	})
 	return mux
 }

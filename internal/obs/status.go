@@ -66,7 +66,10 @@ type HistogramStatus struct {
 // identity. It deliberately lives outside the simulated machine — wall
 // clocks here never feed back into experiment results.
 type Status struct {
-	Schema        string  `json:"schema"`
+	Schema string `json:"schema"`
+	// RunID is the run's causal identity (see internal/runstore),
+	// present whether or not the run archives anything.
+	RunID         string  `json:"run_id,omitempty"`
 	Program       string  `json:"program"`
 	PID           int     `json:"pid"`
 	GoVersion     string  `json:"go"`
@@ -98,6 +101,11 @@ type Status struct {
 	// Histograms carries p50/p95/p99 summaries of the live metrics
 	// registry; filled by the obs server, not the tracker.
 	Histograms []HistogramStatus `json:"histograms,omitempty"`
+	// LedgerTorn reports that the session found — and truncated — a torn
+	// final record in a pre-existing ledger it reopened for append (see
+	// RepairLedgerTail). Surfaced here so the data loss is visible
+	// instead of silent.
+	LedgerTorn bool `json:"ledger_torn,omitempty"`
 }
 
 // Tracker accumulates per-task progress from engine runner hooks and

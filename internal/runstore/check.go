@@ -1,0 +1,262 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Sample is one run's (or one bench file's) scalar metrics, keyed by
+// a dotted metric name. Booleans flatten to 0/1 so a pass flag that
+// flips false gates like any other drift.
+type Sample map[string]float64
+
+// SampleFromBench flattens a BENCH_*.json document's numeric and
+// boolean fields into a sample, prefixed with the file's base name
+// ("BENCH_hotpath.speedup_batched_over_baseline").
+func SampleFromBench(path string) (Sample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("runstore: %s: %w", path, err)
+	}
+	prefix := strings.TrimSuffix(filepath.Base(path), ".json")
+	s := Sample{}
+	for k, v := range doc {
+		switch x := v.(type) {
+		case float64:
+			s[prefix+"."+k] = x
+		case bool:
+			if x {
+				s[prefix+"."+k] = 1
+			} else {
+				s[prefix+"."+k] = 0
+			}
+		}
+	}
+	return s, nil
+}
+
+// SampleFromRun extracts the channel-quality series from an archived
+// run: the BER, mutual information, capacity and SNR of its leakage
+// report (when one was archived and carries observations). Runs
+// without a leakage artifact yield an empty sample — comparable on
+// nothing, which Check reports rather than silently passing.
+func SampleFromRun(dir string) (Sample, error) {
+	if _, _, err := LoadRun(dir); err != nil {
+		return nil, err
+	}
+	s := Sample{}
+	data, err := os.ReadFile(filepath.Join(dir, kindPolicies["leakage"].name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, err
+	}
+	var rep struct {
+		Bits                  float64 `json:"bits"`
+		BitErrorRate          float64 `json:"bit_error_rate"`
+		MutualInformationBits float64 `json:"mutual_information_bits"`
+		CapacityBits          float64 `json:"capacity_bits"`
+		SNR                   float64 `json:"snr"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("runstore: %s leakage report: %w", dir, err)
+	}
+	if rep.Bits == 0 {
+		return s, nil // placeholder report: nothing was observed
+	}
+	s["leakage.bit_error_rate"] = rep.BitErrorRate
+	s["leakage.mutual_information_bits"] = rep.MutualInformationBits
+	s["leakage.capacity_bits"] = rep.CapacityBits
+	s["leakage.snr"] = rep.SNR
+	return s, nil
+}
+
+// LoadSamples resolves path into check samples:
+//   - a .json file: one bench sample;
+//   - a run directory (holds manifest.json): one leakage sample;
+//   - an archive root (run subdirectories): one sample per run —
+//     the multi-run baseline the median/MAD gate is built for;
+//   - any other directory: its *.json files merged as one bench
+//     sample (a directory of pinned BENCH baselines).
+func LoadSamples(path string) ([]Sample, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	if !fi.IsDir() {
+		s, err := SampleFromBench(path)
+		if err != nil {
+			return nil, err
+		}
+		return []Sample{s}, nil
+	}
+	if _, err := os.Stat(filepath.Join(path, ManifestName)); err == nil {
+		s, err := SampleFromRun(path)
+		if err != nil {
+			return nil, err
+		}
+		return []Sample{s}, nil
+	}
+	runs, err := List(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) > 0 {
+		samples := make([]Sample, 0, len(runs))
+		for _, m := range runs {
+			s, err := SampleFromRun(filepath.Join(path, m.RunID))
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		}
+		return samples, nil
+	}
+	// A flat directory of bench JSONs: one merged sample.
+	files, err := filepath.Glob(filepath.Join(path, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	merged := Sample{}
+	for _, f := range files {
+		s, err := SampleFromBench(f)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range s {
+			merged[k] = v
+		}
+	}
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("runstore: %s holds no runs or bench JSON", path)
+	}
+	return []Sample{merged}, nil
+}
+
+// CheckOptions tunes the regression gate.
+type CheckOptions struct {
+	// MADK scales the robust deviation bound: a candidate drifts when
+	// it is more than MADK normalized MADs from the baseline median.
+	MADK float64
+	// Rel is the relative tolerance floor for dimensionless series
+	// (ratios, error rates, bits/branch).
+	Rel float64
+	// RelNoisy is the wider relative floor for wall-clock series
+	// (names containing "_ns", "ns_" or "seconds"): raw nanosecond
+	// numbers vary machine to machine far more than the ratios the
+	// guardrail tests actually gate.
+	RelNoisy float64
+	// Abs is the absolute tolerance floor, protecting near-zero
+	// medians (BER 0.0 with Rel alone would reject any nonzero value).
+	Abs float64
+}
+
+// DefaultCheckOptions returns the gate's documented defaults.
+func DefaultCheckOptions() CheckOptions {
+	return CheckOptions{MADK: 5, Rel: 0.25, RelNoisy: 4, Abs: 1e-9}
+}
+
+// Finding is one metric's verdict.
+type Finding struct {
+	Metric string
+	// Median and MAD summarize the baseline samples for the metric.
+	Median, MAD float64
+	// Value is the candidate's reading; Tol the allowed deviation.
+	Value, Tol float64
+	Drift      bool
+}
+
+// noisyMetric reports whether a metric name is a wall-clock series.
+func noisyMetric(name string) bool {
+	return strings.Contains(name, "_ns") || strings.Contains(name, "ns_") ||
+		strings.Contains(name, "seconds")
+}
+
+// median returns the middle of xs (mean of middles when even).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Check gates a candidate sample against baseline samples with a
+// robust median/MAD rule: for every metric present in both, compute
+// the baseline median and MAD, and flag drift when the candidate falls
+// outside median ± max(MADK·1.4826·MAD, rel·|median|, Abs). With a
+// single baseline sample the MAD term vanishes and the relative floor
+// carries the gate. Findings come back sorted by metric name, drifted
+// first within nothing — callers sort presentation; the Drift flags
+// are the contract. Metrics only one side has are skipped: a baseline
+// without the series cannot certify it.
+func Check(baseline []Sample, cand Sample, opt CheckOptions) []Finding {
+	if opt.MADK == 0 && opt.Rel == 0 && opt.RelNoisy == 0 && opt.Abs == 0 {
+		opt = DefaultCheckOptions()
+	}
+	byMetric := map[string][]float64{}
+	for _, s := range baseline {
+		for k, v := range s {
+			byMetric[k] = append(byMetric[k], v)
+		}
+	}
+	names := make([]string, 0, len(byMetric))
+	for k := range byMetric {
+		if _, ok := cand[k]; ok {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	findings := make([]Finding, 0, len(names))
+	for _, name := range names {
+		base := byMetric[name]
+		med := median(base)
+		devs := make([]float64, len(base))
+		for i, v := range base {
+			devs[i] = math.Abs(v - med)
+		}
+		mad := median(devs)
+		rel := opt.Rel
+		if noisyMetric(name) {
+			rel = opt.RelNoisy
+		}
+		tol := math.Max(opt.MADK*1.4826*mad, math.Max(rel*math.Abs(med), opt.Abs))
+		v := cand[name]
+		findings = append(findings, Finding{
+			Metric: name,
+			Median: med,
+			MAD:    mad,
+			Value:  v,
+			Tol:    tol,
+			Drift:  math.Abs(v-med) > tol,
+		})
+	}
+	return findings
+}
+
+// Drifted counts findings flagged as drift.
+func Drifted(findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		if f.Drift {
+			n++
+		}
+	}
+	return n
+}
