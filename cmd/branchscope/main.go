@@ -63,6 +63,7 @@ import (
 	"branchscope/internal/cpu"
 	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
+	"branchscope/internal/fabric"
 	"branchscope/internal/obs"
 	"branchscope/internal/runstore"
 	"branchscope/internal/telemetry"
@@ -119,6 +120,18 @@ func run() (code int) {
 	if err := obsFlags.RequireNoCampaign("branchscope"); err != nil {
 		return usageErr("%v", err)
 	}
+	// -coordinator/-worker/-workers: the distributed fabric (see
+	// internal/fabric). For this single-task CLI the coordinator
+	// dispatches the one covert run to the pool and prints the merged
+	// result line; -v and -trace need the in-process result and stay
+	// local-only.
+	workerURLs, err := obsFlags.FabricWorkers()
+	if err != nil {
+		return usageErr("branchscope: %v", err)
+	}
+	if (obsFlags.Worker || len(workerURLs) > 0) && (*verbose || *traced) {
+		return usageErr("branchscope: -v/-trace need the in-process run; they cannot be combined with -worker/-coordinator")
+	}
 	m, err := uarch.ByName(*model)
 	if err != nil {
 		return usageErr("%v", err)
@@ -141,14 +154,20 @@ func run() (code int) {
 
 	// The single root task this CLI runs, as /statusz reports it.
 	tracker := obs.NewTracker("branchscope", *seed, false, []string{"covert"})
-	sess, err := cliutil.NewSession("branchscope", obsFlags, cliutil.Options{
+	opts := cliutil.Options{
 		// The registry is always on (the CLI is not a hot path; the -v
 		// table reads it); the tracer only when its output is
 		// requested, since it retains every event.
 		ForceMetrics: true,
 		Status:       tracker.Status,
 		Ready:        tracker.Ready,
-	})
+	}
+	var wk *fabric.Worker
+	if obsFlags.Worker {
+		wk = &fabric.Worker{}
+		opts.Fabric = wk.Handler()
+	}
+	sess, err := cliutil.NewSession("branchscope", obsFlags, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
@@ -204,6 +223,57 @@ func run() (code int) {
 	idCfg["setting"] = setting.String()
 	idCfg["sgx"] = *sgxMode
 	idCfg["timing"] = *timing
+
+	// The covert run as an engine task. Its Run deliberately ignores
+	// the engine-derived seed and uses the flag config: in fabric mode
+	// the assignment identity check guarantees both sides share -seed
+	// and every covert knob, and local mode's output (which runs with
+	// the bare -seed, not a task-derived one) stays the oracle.
+	covertTask := engine.Task{
+		ID: "covert", Artifact: "covert channel",
+		Run: func(ctx context.Context, _ engine.Config) (engine.Result, error) {
+			return experiments.RunCovert(ctx, cfg)
+		},
+	}
+
+	// Worker mode: serve the covert task to a coordinator until
+	// interrupted; everything below (identity, archive, report) is
+	// coordinator-side.
+	if wk != nil {
+		wk.Program = "branchscope"
+		wk.BaseSeed = *seed
+		wk.Config = idCfg
+		wk.Resolve = func(id string) (engine.Task, bool) {
+			if id != "covert" {
+				return engine.Task{}, false
+			}
+			return covertTask, true
+		}
+		wk.Runner = &engine.Runner{
+			OnStart: func(t engine.Task, s uint64) {
+				tracker.Begin(t.ID, *seed)
+				sess.Log.Info("task start", "id", t.ID, "seed", *seed)
+			},
+			OnDone: func(rep engine.Report) {
+				tracker.End(rep.Task.ID, rep.Wall, rep.Outcome(), rep.Err)
+				sess.Log.Info("task done", "id", rep.Task.ID, "outcome", rep.Outcome())
+			},
+		}
+		wk.RunCfg = engine.Config{Seed: *seed}
+		if plan != nil {
+			// Worker-targeted chaos crash: exit(3) right after the Nth
+			// streamed outcome.
+			wk.CrashAfter = plan.CrashPoint()
+		}
+		wk.Logf = func(format string, args ...any) { sess.Log.Info(fmt.Sprintf(format, args...)) }
+		wctx, wstop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer wstop()
+		sess.Log.Info("fabric worker serving", "task", "covert", "crash_after", wk.CrashAfter)
+		<-wctx.Done()
+		sess.Log.Info("fabric worker interrupted, shutting down")
+		return 0
+	}
+
 	identity := runstore.Identity{
 		Program: "branchscope", BaseSeed: *seed, Tasks: []string{"covert"}, Config: idCfg,
 	}
@@ -259,6 +329,82 @@ func run() (code int) {
 		defer w.Stop()
 	}
 	start := time.Now()
+
+	// Coordinator mode: dispatch the covert task to the worker pool and
+	// settle the merged report through the same ledger/archive surface
+	// as the local path. The report and export blobs are byte-identical
+	// to a local run (the worker's result text and rows round-trip
+	// verbatim through the replay path); the stdout summary prints the
+	// merged result line instead of the local per-field breakdown.
+	if len(workerURLs) > 0 {
+		coord := &fabric.Coordinator{
+			Workers:   workerURLs,
+			Program:   "branchscope",
+			BaseSeed:  *seed,
+			Config:    idCfg,
+			RunID:     runID,
+			Local:     &engine.Runner{RunID: runID},
+			LocalCfg:  engine.Config{Seed: *seed},
+			OnDegrade: func(reason string) { sess.Log.Warn("fabric degraded", "reason", reason) },
+			Logf:      func(format string, args ...any) { sess.Log.Info(fmt.Sprintf(format, args...)) },
+		}
+		reports, jerr := coord.Run(ctx, []engine.Task{covertTask})
+		if jerr != nil {
+			sess.Log.Error("fabric journal", "err", jerr)
+		}
+		rep := reports[0]
+		wall := time.Since(start)
+		tracker.End("covert", wall, "", rep.Err)
+		// Seed and outcome are normalized to the local run's: the fabric
+		// derives a per-task seed (which the covert task ignores — see
+		// above) and marks merged successes "replayed".
+		outcome := runstore.CanonicalOutcome(rep.Outcome(), rep.Attempts)
+		rec := obs.LedgerRecord{
+			Program:      "branchscope",
+			ID:           "covert",
+			Artifact:     "covert channel",
+			Config:       ledgerConfig,
+			BaseSeed:     *seed,
+			Seed:         *seed,
+			Outcome:      outcome,
+			WallSeconds:  wall.Seconds(),
+			MetricsDelta: sess.Deltas.End("covert"),
+		}
+		rec.Leakage = obs.LeakageFields(rec.MetricsDelta)
+		if rep.Err != nil {
+			rec.Error = rep.Err.Error()
+			arc.Record(runstore.TaskOutcome{ID: "covert", Seed: *seed, Outcome: outcome, Error: rep.Err.Error()})
+			if lerr := sess.Ledger.Append(rec); lerr != nil {
+				sess.Log.Error("appending ledger record", "err", lerr)
+			}
+			sess.Log.Error("task failed", "id", "covert", "outcome", outcome, "err", rep.Err)
+			return 1
+		}
+		rec.ResultDigest = obs.Digest(rep.Result.String())
+		if lerr := sess.Ledger.Append(rec); lerr != nil {
+			sess.Log.Error("appending ledger record", "err", lerr)
+		}
+		arc.Record(runstore.TaskOutcome{ID: "covert", Seed: *seed, Outcome: outcome})
+		if arc != nil {
+			arc.AddBlob("report", []byte(rep.Result.String()))
+			exp := engine.Report{
+				Task:   engine.Task{ID: "covert", Artifact: "covert channel"},
+				Seed:   *seed,
+				RunID:  runID,
+				Result: rep.Result,
+			}
+			var export bytes.Buffer
+			if werr := engine.WriteJSON(&export, engine.ExportMeta{BaseSeed: *seed, RunID: runID}, []engine.Report{exp}); werr != nil {
+				sess.Log.Error("rendering archive export", "err", werr)
+			} else {
+				arc.AddBlob("export", export.Bytes())
+			}
+		}
+		sess.Log.Info("task done", "id", "covert", "outcome", outcome, "wall", wall.String())
+		fmt.Println(rep.Result.String())
+		return 0
+	}
+
 	res, err := experiments.RunCovert(ctx, cfg)
 	wall := time.Since(start)
 	tracker.End("covert", wall, "", err)

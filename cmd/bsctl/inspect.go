@@ -144,44 +144,91 @@ func cmdTail(args []string) error {
 	}
 	path := fs.Arg(0)
 
-	printed := 0
-	warned := false
-	emit := func() error {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		recs, torn, err := obs.ReadLedger(bytes.NewReader(data))
-		if err != nil {
-			return err
-		}
-		for _, rec := range recs[printed:] {
-			line := fmt.Sprintf("%-12s %-10s seed=%d", rec.ID, rec.Outcome, rec.Seed)
-			if rec.RunID != "" {
-				line += " run=" + rec.RunID
-			}
-			if rec.Error != "" {
-				line += " error=" + rec.Error
-			}
-			fmt.Println(line)
-		}
-		printed = len(recs)
-		if torn && !*follow && !warned {
-			// A torn tail mid-follow is normal (an append in flight);
-			// only a final torn record is worth a warning.
-			fmt.Fprintln(os.Stderr, "bsctl: WARNING: torn final record (crash mid-append), ignored")
-			warned = true
-		}
-		return nil
-	}
-	if err := emit(); err != nil {
+	p := &tailPrinter{path: path, follow: *follow}
+	if err := p.emit(); err != nil {
 		return err
 	}
-	for *follow {
-		time.Sleep(*interval)
-		if err := emit(); err != nil {
-			return err
-		}
+	if *follow {
+		followLedger(p.emit, *interval, time.Sleep, func() bool { return true })
 	}
 	return nil
+}
+
+// tailPrinter incrementally prints a ledger's records across repeated
+// reads of the same file, tolerating truncation between reads (a new
+// run re-creating the ledger restarts the tail from the top).
+type tailPrinter struct {
+	path    string
+	follow  bool
+	printed int
+	warned  bool
+}
+
+func (p *tailPrinter) emit() error {
+	data, err := os.ReadFile(p.path)
+	if err != nil {
+		return err
+	}
+	recs, torn, err := obs.ReadLedger(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if len(recs) < p.printed {
+		// The ledger shrank under us: a new run re-created the file.
+		// Restart from the top instead of slicing past the end.
+		fmt.Fprintln(os.Stderr, "bsctl: ledger truncated (new run?), restarting from the top")
+		p.printed = 0
+	}
+	for _, rec := range recs[p.printed:] {
+		line := fmt.Sprintf("%-12s %-10s seed=%d", rec.ID, rec.Outcome, rec.Seed)
+		if rec.RunID != "" {
+			line += " run=" + rec.RunID
+		}
+		if rec.Error != "" {
+			line += " error=" + rec.Error
+		}
+		fmt.Println(line)
+	}
+	p.printed = len(recs)
+	if torn && !p.follow && !p.warned {
+		// A torn tail mid-follow is normal (an append in flight);
+		// only a final torn record is worth a warning.
+		fmt.Fprintln(os.Stderr, "bsctl: WARNING: torn final record (crash mid-append), ignored")
+		p.warned = true
+	}
+	return nil
+}
+
+// maxTailBackoff caps the follow loop's retry backoff.
+const maxTailBackoff = 5 * time.Second
+
+// followLedger drives tail -f: re-emit at interval, and survive
+// transient read errors — the file mid-rename during an atomic rewrite,
+// a short read racing an append, a checksum caught on a partially
+// flushed line — with capped doubling backoff instead of exiting on the
+// first one. The outage is reported once on entry and once on recovery,
+// not per retry. sleep and cont are seams for tests (time.Sleep and an
+// always-true predicate in production).
+func followLedger(emit func() error, interval time.Duration, sleep func(time.Duration), cont func() bool) {
+	delay := interval
+	down := false
+	for cont() {
+		sleep(delay)
+		if err := emit(); err != nil {
+			if !down {
+				fmt.Fprintf(os.Stderr, "bsctl: transient read error (retrying): %v\n", err)
+				down = true
+			}
+			delay *= 2
+			if delay > maxTailBackoff {
+				delay = maxTailBackoff
+			}
+			continue
+		}
+		if down {
+			fmt.Fprintln(os.Stderr, "bsctl: ledger readable again")
+			down = false
+		}
+		delay = interval
+	}
 }

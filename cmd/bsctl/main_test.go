@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"branchscope/internal/engine"
 	"branchscope/internal/runstore"
@@ -221,6 +223,115 @@ func TestTailTornWarning(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "torn") {
 		t.Errorf("torn final record not warned about: %q", errOut)
+	}
+}
+
+// TestFollowRetriesTransientErrors: tail -f must survive transient
+// read errors with capped doubling backoff — report the outage once,
+// keep retrying, recover silently — instead of exiting on the first
+// error.
+func TestFollowRetriesTransientErrors(t *testing.T) {
+	boom := errors.New("read /tmp/ledger.jsonl: resource temporarily unavailable")
+	calls := 0
+	emit := func() error {
+		calls++
+		if calls <= 4 {
+			return boom
+		}
+		return nil
+	}
+	var sleeps []time.Duration
+	sleep := func(d time.Duration) { sleeps = append(sleeps, d) }
+	iterations := 0
+	cont := func() bool { iterations++; return iterations <= 6 }
+
+	_, errOut, err := capture(t, func() error {
+		followLedger(emit, 100*time.Millisecond, sleep, cont)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Errorf("emit called %d times, want 6 (the loop must keep retrying)", calls)
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, // first try
+		200 * time.Millisecond, // doubled after failure 1
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		100 * time.Millisecond, // success resets to the interval
+	}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, sleeps[i], want[i])
+		}
+	}
+	if got := strings.Count(errOut, "transient read error"); got != 1 {
+		t.Errorf("outage reported %d times, want exactly once:\n%s", got, errOut)
+	}
+	if !strings.Contains(errOut, "readable again") {
+		t.Errorf("recovery not reported:\n%s", errOut)
+	}
+}
+
+// TestFollowBackoffCap: the retry backoff never exceeds maxTailBackoff.
+func TestFollowBackoffCap(t *testing.T) {
+	emit := func() error { return errors.New("still broken") }
+	var last time.Duration
+	sleep := func(d time.Duration) { last = d }
+	iterations := 0
+	cont := func() bool { iterations++; return iterations <= 20 }
+	_, _, err := capture(t, func() error {
+		followLedger(emit, time.Second, sleep, cont)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != maxTailBackoff {
+		t.Errorf("backoff after 20 failures = %v, want capped at %v", last, maxTailBackoff)
+	}
+}
+
+// TestTailTruncationRestart: a ledger that shrinks between reads (a new
+// run re-created it) restarts printing from the top instead of slicing
+// past the end.
+func TestTailTruncationRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	rec := func(id string) string {
+		return `{"schema":"branchscope.ledger/v1","program":"t","id":"` + id + `","config":{},"base_seed":1,"seed":1,"outcome":"ok","wall_seconds":0}` + "\n"
+	}
+	if err := os.WriteFile(path, []byte(rec("a")+rec("b")+rec("c")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Drive one tail's emit twice: print the 3-record file, replace it
+	// with a 1-record one, and require the second pass to restart from
+	// the top instead of panicking on recs[3:].
+	out, errOut, err := capture(t, func() error {
+		p := &tailPrinter{path: path, follow: true}
+		if err := p.emit(); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(rec("z")), 0o644); err != nil {
+			return err
+		}
+		return p.emit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c", "z"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("record %q not printed:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(errOut, "truncated") {
+		t.Errorf("truncation not reported:\n%s", errOut)
 	}
 }
 

@@ -113,6 +113,7 @@ import (
 	"branchscope/internal/cliutil"
 	"branchscope/internal/engine"
 	"branchscope/internal/experiments"
+	"branchscope/internal/fabric"
 	"branchscope/internal/obs"
 	"branchscope/internal/runstore"
 	"branchscope/internal/telemetry"
@@ -144,6 +145,23 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "experiments: -trace-out requires -parallel 1 (concurrent experiments would interleave one span timeline)")
 		flag.Usage()
 		return 2
+	}
+	// -coordinator/-worker/-workers: the distributed campaign fabric
+	// (see internal/fabric and DESIGN §3.20). Execution-shape flags:
+	// like -parallel they never change what the run produces, only
+	// where it executes, so they stay out of the run identity.
+	workerURLs, err := obsFlags.FabricWorkers()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		flag.Usage()
+		return 2
+	}
+	if obsFlags.Worker {
+		if *check || *mdPath != "" || *jsonPath != "" || flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "experiments: -worker serves tasks chosen by its coordinator; -check/-md/-json and experiment ids belong on the coordinator")
+			flag.Usage()
+			return 2
+		}
 	}
 
 	if *list {
@@ -208,10 +226,19 @@ func run() (code int) {
 		}
 		return st
 	}
-	sess, err := cliutil.NewSession("experiments", obsFlags, cliutil.Options{
+	// Worker mode mounts the fabric endpoint on the -serve server; the
+	// worker's runner and identity fields are filled in below, before
+	// any coordinator can find the process ready.
+	var wk *fabric.Worker
+	opts := cliutil.Options{
 		Status: statusFn,
 		Ready:  func() bool { return tracker.Ready() && !breakers.AnyOpen() },
-	})
+	}
+	if obsFlags.Worker {
+		wk = &fabric.Worker{}
+		opts.Fabric = wk.Handler()
+	}
+	sess, err = cliutil.NewSession("experiments", obsFlags, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
@@ -260,11 +287,8 @@ func run() (code int) {
 		defer experiments.SetDefaultRetry(nil)
 	}
 
-	// Causal run identity: a digest of the result-shaping inputs only,
-	// so the same logical run keeps one RunID across -parallel widths
-	// and crash+-resume. The ID is stamped everywhere results land; the
-	// archiver (nil without -archive, and nil-safe) snapshots every sink
-	// plus a branchscope.run/v1 manifest when the session closes.
+	// The shared result-shaping config: the run identity's Config, and
+	// the fabric identity basis workers verify assignments against.
 	idCfg, err := obsFlags.IdentityConfig(*seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -272,50 +296,6 @@ func run() (code int) {
 	}
 	if *timeout > 0 {
 		idCfg["timeout"] = timeout.String()
-	}
-	identity := runstore.Identity{
-		Program: "experiments", BaseSeed: *seed, Quick: *quick, Tasks: ids, Config: idCfg,
-	}
-	runID := identity.RunID()
-	sess.SetRunID(runID)
-	arc := obsFlags.Archiver(identity)
-	sess.SetArchiver(arc)
-	arc.AddFile("journal", obsFlags.Checkpoint)
-	arc.AddFile("md", *mdPath)
-
-	// -checkpoint/-resume make the suite durable: every outcome is
-	// journaled as it completes, and a resumed run replays the journal
-	// and re-runs only what's missing, with the same derived seeds.
-	camp, err := obsFlags.Campaign(campaign.Header{
-		Program: "experiments", BaseSeed: *seed, Quick: *quick, Tasks: ids, RunID: runID,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		return 2
-	}
-	if camp != nil {
-		defer camp.Journal.Close()
-		if plan != nil {
-			camp.CrashAfter = plan.CrashPoint()
-		}
-		sess.Log.Info("campaign journal open", "path", camp.Journal.Path(),
-			"replayed", len(camp.Replayed), "crash_after", camp.CrashAfter)
-	}
-
-	// Per-experiment simulated-cycle attribution only works when one
-	// experiment owns the process-wide counter at a time.
-	if reg != nil && pool == nil {
-		simCycles := reg.Counter("covert.simulated_cycles")
-		for i := range tasks {
-			t := tasks[i]
-			inner := t.Run
-			tasks[i].Run = func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
-				before := simCycles.Value()
-				res, err := inner(ctx, cfg)
-				reg.Gauge("experiments." + t.ID + ".simulated_cycles").Set(float64(simCycles.Value() - before))
-				return res, err
-			}
-		}
 	}
 
 	ledgerConfig := map[string]any{
@@ -326,7 +306,6 @@ func run() (code int) {
 	var done atomic.Int64
 	runner := &engine.Runner{
 		Pool:     pool,
-		RunID:    runID,
 		Timeout:  *timeout,
 		Retry:    obsFlags.RetryPolicy(),
 		Watchdog: obsFlags.Watchdog,
@@ -381,10 +360,127 @@ func run() (code int) {
 			}
 		},
 	}
+
+	// Worker mode: serve fabric assignments until interrupted. The
+	// worker never selects tasks or derives a suite identity — the
+	// coordinator owns both — so everything below (identity, archive,
+	// campaign, report rendering) stays coordinator-side.
+	if wk != nil {
+		wkRunner := *runner
+		// Circuit breaking is coordinator-central: the coordinator
+		// admits tasks against its breaker set before dispatch, which
+		// is what propagates a family tripped on one worker to all.
+		wkRunner.Breakers = nil
+		byID := map[string]engine.Task{}
+		for _, t := range experiments.Tasks(experiments.All()) {
+			byID[t.ID] = t
+		}
+		wk.Program = "experiments"
+		wk.BaseSeed = *seed
+		wk.Quick = *quick
+		wk.Config = idCfg
+		wk.Resolve = func(id string) (engine.Task, bool) {
+			t, ok := byID[id]
+			return t, ok
+		}
+		wk.Runner = &wkRunner
+		wk.RunCfg = engine.Config{Quick: *quick, Seed: *seed}
+		if plan != nil {
+			// The chaos crash fault class, worker-targeted: exit(3)
+			// right after the Nth streamed outcome, instead of after
+			// the Nth journaled one.
+			wk.CrashAfter = plan.CrashPoint()
+		}
+		wk.Logf = func(format string, args ...any) { sess.Log.Info(fmt.Sprintf(format, args...)) }
+		sess.Log.Info("fabric worker serving", "tasks", len(byID), "crash_after", wk.CrashAfter)
+		<-ctx.Done()
+		sess.Log.Info("fabric worker interrupted, shutting down")
+		return 0
+	}
+
+	// Causal run identity: a digest of the result-shaping inputs only,
+	// so the same logical run keeps one RunID across -parallel widths
+	// and crash+-resume. The ID is stamped everywhere results land; the
+	// archiver (nil without -archive, and nil-safe) snapshots every sink
+	// plus a branchscope.run/v1 manifest when the session closes.
+	identity := runstore.Identity{
+		Program: "experiments", BaseSeed: *seed, Quick: *quick, Tasks: ids, Config: idCfg,
+	}
+	runID := identity.RunID()
+	sess.SetRunID(runID)
+	arc := obsFlags.Archiver(identity)
+	sess.SetArchiver(arc)
+	arc.AddFile("journal", obsFlags.Checkpoint)
+	arc.AddFile("md", *mdPath)
+
+	// -checkpoint/-resume make the suite durable: every outcome is
+	// journaled as it completes, and a resumed run replays the journal
+	// and re-runs only what's missing, with the same derived seeds.
+	camp, err := obsFlags.Campaign(campaign.Header{
+		Program: "experiments", BaseSeed: *seed, Quick: *quick, Tasks: ids, RunID: runID,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	if camp != nil {
+		defer camp.Journal.Close()
+		if plan != nil {
+			camp.CrashAfter = plan.CrashPoint()
+		}
+		sess.Log.Info("campaign journal open", "path", camp.Journal.Path(),
+			"replayed", len(camp.Replayed), "crash_after", camp.CrashAfter)
+	}
+
+	// Per-experiment simulated-cycle attribution only works when one
+	// experiment owns the process-wide counter at a time.
+	if reg != nil && pool == nil {
+		simCycles := reg.Counter("covert.simulated_cycles")
+		for i := range tasks {
+			t := tasks[i]
+			inner := t.Run
+			tasks[i].Run = func(ctx context.Context, cfg engine.Config) (engine.Result, error) {
+				before := simCycles.Value()
+				res, err := inner(ctx, cfg)
+				reg.Gauge("experiments." + t.ID + ".simulated_cycles").Set(float64(simCycles.Value() - before))
+				return res, err
+			}
+		}
+	}
+
+	runner.RunID = runID
 	var reports []engine.Report
 	var journalErr error
 	ecfg := engine.Config{Quick: *quick, Seed: *seed}
-	if camp != nil {
+	switch {
+	case len(workerURLs) > 0:
+		// Coordinator mode: shard the task list across the worker pool
+		// and merge the streamed outcomes. Degrades to local execution
+		// (with the runner above) when no worker is reachable.
+		coord := &fabric.Coordinator{
+			Workers:  workerURLs,
+			Program:  "experiments",
+			BaseSeed: *seed,
+			Quick:    *quick,
+			Config:   idCfg,
+			RunID:    runID,
+			Breakers: breakers,
+			Campaign: camp,
+			Local:    runner,
+			LocalCfg: ecfg,
+			OnDone:   runner.OnDone,
+			OnDegrade: func(reason string) {
+				sess.Log.Warn("fabric degraded to local execution", "reason", reason)
+			},
+			Logf: func(format string, args ...any) { sess.Log.Info(fmt.Sprintf(format, args...)) },
+		}
+		reports, journalErr = coord.Run(ctx, tasks)
+		// Fabric mode zeroes Wall like campaign mode: merged exports
+		// must be byte-identical to a single-process run's.
+		for i := range reports {
+			reports[i].Wall = 0
+		}
+	case camp != nil:
 		reports, journalErr = camp.Run(ctx, runner, tasks, ecfg)
 		// Wall time is the one nondeterministic report field; campaign
 		// mode zeroes it so an interrupted-and-resumed run's exports are
@@ -392,7 +488,7 @@ func run() (code int) {
 		for i := range reports {
 			reports[i].Wall = 0
 		}
-	} else {
+	default:
 		reports = runner.RunSuite(ctx, tasks, ecfg)
 	}
 	engine.FormatText(os.Stdout, reports)

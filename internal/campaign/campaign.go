@@ -149,7 +149,7 @@ func (c *Campaign) Run(ctx context.Context, r *engine.Runner, tasks []engine.Tas
 
 	orig := r.OnDone
 	r.OnDone = func(rep engine.Report) {
-		n, err := c.Journal.Append(recordOf(rep))
+		n, err := c.Journal.Append(RecordOf(rep))
 		if err != nil {
 			c.mu.Lock()
 			if c.err == nil {
@@ -174,7 +174,7 @@ func (c *Campaign) Run(ctx context.Context, r *engine.Runner, tasks []engine.Tas
 		if !ok {
 			continue
 		}
-		rep := replayReport(t, rec)
+		rep := ReplayReport(t, rec)
 		// Replayed reports carry the live runner's identity like fresh
 		// ones: the run identity is invocation-scoped, not attempt-scoped.
 		rep.RunID = r.RunID
@@ -213,8 +213,16 @@ func (c *Campaign) crash() {
 	})
 }
 
-// recordOf converts a finished report into its journal record.
-func recordOf(rep engine.Report) TaskRecord {
+// Crash fires the campaign's crash point (once, like the internal
+// path). The fabric coordinator journals outcomes itself rather than
+// through Run's OnDone wrapper, so it needs the same crash action when
+// its append count reaches CrashAfter.
+func (c *Campaign) Crash() { c.crash() }
+
+// RecordOf converts a finished report into its journal record — the
+// exact bytes Run would journal, and the fabric wire payload a worker
+// streams back to its coordinator.
+func RecordOf(rep engine.Report) TaskRecord {
 	rec := TaskRecord{
 		ID:       rep.Task.ID,
 		Seed:     rep.Seed,
@@ -242,8 +250,11 @@ func recordOf(rep engine.Report) TaskRecord {
 	return rec
 }
 
-// replayReport reconstructs a completed task's report from its record.
-func replayReport(t engine.Task, rec TaskRecord) engine.Report {
+// ReplayReport reconstructs a completed task's report from its record:
+// the report renders the record's checkpointed bytes verbatim, which is
+// what makes both the resume path and the fabric merge byte-identical
+// to an uninterrupted local run.
+func ReplayReport(t engine.Task, rec TaskRecord) engine.Report {
 	return engine.Report{
 		Task:     t,
 		Seed:     rec.Seed,

@@ -272,6 +272,142 @@ func TestResumeRejectsMismatchedHeader(t *testing.T) {
 	}
 }
 
+// TestResumeRejectsForeignRunID: resuming under a different causal run
+// identity is refused, and the refusal names both run IDs so the
+// operator can see exactly which journal they grabbed and which run
+// they are in.
+func TestResumeRejectsForeignRunID(t *testing.T) {
+	tasks := testTasks()
+	h := Header{RunID: "bsr-aaaaaaaaaaaaaaaa", Program: "test", BaseSeed: 42, Quick: true, Tasks: taskIDs(tasks)}
+	path := filepath.Join(t.TempDir(), "rid.journal")
+	camp, err := New(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.Journal.Close()
+
+	want := h
+	want.RunID = "bsr-bbbbbbbbbbbbbbbb"
+	_, err = Resume(path, want)
+	if err == nil {
+		t.Fatal("foreign run ID accepted")
+	}
+	for _, id := range []string{h.RunID, want.RunID} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("refusal does not mention run ID %s: %v", id, err)
+		}
+	}
+
+	// Either side lacking an identity is tolerated (pre-identity
+	// journals stay resumable).
+	blank := h
+	blank.RunID = ""
+	if _, err := Resume(path, blank); err != nil {
+		t.Errorf("identity-less resume of an identified journal rejected: %v", err)
+	}
+}
+
+// TestLoadRejectsTornMiddleRecord: a truncated record with valid
+// content after it is mid-file damage and must fail loudly — only a
+// torn *final* line (crash mid-append) may be dropped.
+func TestLoadRejectsTornMiddleRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	j, err := Create(path, Header{Program: "test", Tasks: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(TaskRecord{ID: "a", Outcome: "ok", ResultText: "result a\n"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(TaskRecord{ID: "b", Outcome: "ok", ResultText: "result b\n"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// Tear record "a" in half, keeping record "b" intact after it.
+	lines[1] = lines[1][:len(lines[1])/2]
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Load(path); err == nil {
+		t.Fatal("torn middle record loaded without error (silent truncation)")
+	}
+}
+
+// FuzzLoadTornMiddleRecord drives the mid-journal damage invariant: cut
+// an arbitrary byte range out of a middle line and Load must either
+// fail loudly or (when the cut removed nothing) return every record —
+// never silently return a subset from a damaged non-final line.
+func FuzzLoadTornMiddleRecord(f *testing.F) {
+	f.Add(uint8(0), uint16(10), uint16(20))
+	f.Add(uint8(1), uint16(0), uint16(1))
+	f.Add(uint8(0), uint16(40), uint16(4))
+	f.Add(uint8(1), uint16(60), uint16(500))
+	f.Fuzz(func(t *testing.T, which uint8, start, n uint16) {
+		path := filepath.Join(t.TempDir(), "fuzz.journal")
+		j, err := Create(path, Header{Program: "fuzz", Tasks: []string{"a", "b", "c"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []string{"a", "b", "c"} {
+			if _, err := j.Append(TaskRecord{ID: id, Outcome: "ok", ResultText: "result " + id + "\n"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.Close()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := bytes.Split(data, []byte("\n"))
+		// lines: header, a, b, c, "" — damage record a or b, never the
+		// final record (a torn tail is legitimately dropped).
+		idx := 1 + int(which)%2
+		line := lines[idx]
+		lo := int(start) % (len(line) + 1)
+		hi := lo + int(n)
+		if hi > len(line) {
+			hi = len(line)
+		}
+		mutated := append(append([]byte{}, line[:lo]...), line[hi:]...)
+		lines[idx] = mutated
+		if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		_, recs, _, err := Load(path)
+		switch {
+		case lo == hi:
+			// Nothing removed: the journal is intact and every record
+			// must come back.
+			if err != nil {
+				t.Fatalf("unmodified journal failed to load: %v", err)
+			}
+			if len(recs) != 3 {
+				t.Fatalf("unmodified journal returned %d records, want 3", len(recs))
+			}
+		case len(mutated) == 0:
+			// The whole line vanished — indistinguishable from a journal
+			// that never had it; Load cannot detect this, but it must not
+			// crash or mis-parse the surviving lines.
+			if err == nil && len(recs) != 2 {
+				t.Fatalf("empty-line journal returned %d records, want 2", len(recs))
+			}
+		default:
+			// A damaged non-final line with valid content after it must
+			// fail loudly, never silently truncate.
+			if err == nil {
+				t.Fatalf("mid-journal damage (line %d, cut [%d:%d]) loaded without error: %d records", idx, lo, hi, len(recs))
+			}
+		}
+	})
+}
+
 // TestLoadRejectsMidFileCorruption: a damaged line with valid content
 // after it is real corruption, not a torn tail.
 func TestLoadRejectsMidFileCorruption(t *testing.T) {

@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The journal's CRC-framed line format doubles as the fabric wire
+// format (see internal/fabric): a worker streams each finished task
+// back to its coordinator as exactly the line a local campaign would
+// have journaled, so a bit flip on the wire is caught by the same
+// checksum that catches a bit flip on disk, and the coordinator can
+// append received lines to its own journal without re-encoding.
+
+// Frame renders one CRC-framed JSONL line for a payload under the
+// given kind key ("header", "task", or a fabric wire kind). The
+// checksum covers the exact payload bytes a reader will see.
+func Frame(kind string, payload any) ([]byte, error) { return frame(kind, payload) }
+
+// ParseFrame decodes and checksum-verifies one framed line of any
+// kind, returning the kind key and its raw payload. Unlike the journal
+// loader it accepts kinds beyond header/task — the fabric wire streams
+// lease-renewal frames through the same framing.
+func ParseFrame(line []byte) (kind string, payload json.RawMessage, err error) {
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(line, &fields); err != nil {
+		return "", nil, fmt.Errorf("campaign: frame: %w", err)
+	}
+	sumRaw, ok := fields["sum"]
+	if !ok {
+		return "", nil, fmt.Errorf("campaign: frame has no checksum")
+	}
+	var sum string
+	if err := json.Unmarshal(sumRaw, &sum); err != nil {
+		return "", nil, fmt.Errorf("campaign: frame checksum: %w", err)
+	}
+	for k, v := range fields {
+		if k == "sum" {
+			continue
+		}
+		if kind != "" {
+			return "", nil, fmt.Errorf("campaign: frame carries both %q and %q", kind, k)
+		}
+		kind, payload = k, v
+	}
+	if kind == "" {
+		return "", nil, fmt.Errorf("campaign: frame has no payload")
+	}
+	if got := checksum(payload); got != sum {
+		return "", nil, fmt.Errorf("campaign: frame %s: checksum %s, recorded %s", kind, got, sum)
+	}
+	return kind, payload, nil
+}

@@ -76,7 +76,11 @@ type Plan struct {
 	// task outcome is journaled, so CI can interrupt a checkpointed run
 	// at a deterministic point and assert resume equivalence. Unlike
 	// the episode faults above it never touches a measurement; it is a
-	// no-op without a -checkpoint journal. Prob and Span are unused.
+	// no-op without a -checkpoint journal. In fabric -worker mode the
+	// crash point is worker-targeted instead: the worker process exits
+	// right after streaming its Nth task outcome, exercising the
+	// coordinator's lease-reassignment path (see internal/fabric and
+	// DESIGN §3.20). Prob and Span are unused.
 	Crash Spec `json:"crash"`
 }
 

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -70,6 +72,16 @@ type Flags struct {
 	// <dir>/<run-id>/ with a branchscope.run/v1 manifest plus copies of
 	// every sink the run produced. See internal/runstore.
 	Archive string
+	// Coordinator/Workers/Worker are the distributed-campaign surface
+	// (see internal/fabric): coordinator mode shards the task list
+	// across the -workers pool and merges the streamed outcomes;
+	// worker mode serves fabric assignments on the -serve address.
+	// Execution-shape flags: like -parallel and -checkpoint they are
+	// excluded from the run identity, because where tasks run never
+	// changes what they produce.
+	Coordinator bool
+	Workers     string
+	Worker      bool
 }
 
 // Register installs the shared flags on fs.
@@ -92,6 +104,63 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&f.Watchdog, "watchdog", 0, "soft per-task deadline: tasks running past it are marked stuck in /statusz and logs but keep running (0 = off)")
 	fs.IntVar(&f.Breaker, "breaker", 0, "open a per-family circuit breaker after N consecutive permanent task failures, skipping the family's remaining tasks (0 = off)")
 	fs.StringVar(&f.Archive, "archive", "", "archive this run under <dir>/<run-id>/: a branchscope.run/v1 manifest plus copies of every sink (inspect with bsctl)")
+	fs.BoolVar(&f.Coordinator, "coordinator", false, "run as a distributed-campaign coordinator: shard the task list across the -workers pool and merge their streamed outcomes (byte-identical to a single-process run)")
+	fs.StringVar(&f.Workers, "workers", "", "comma-separated worker base URLs for -coordinator (e.g. http://127.0.0.1:9001,http://127.0.0.1:9002)")
+	fs.BoolVar(&f.Worker, "worker", false, "run as a distributed-campaign worker: serve fabric assignments from a coordinator on the -serve address instead of running the suite locally")
+}
+
+// FabricWorkers validates the fabric flag combination and resolves the
+// -workers list into worker base URLs. It returns nil (and no error)
+// when neither fabric mode was requested.
+func (f Flags) FabricWorkers() ([]string, error) {
+	if f.Worker && f.Coordinator {
+		return nil, errors.New("-worker and -coordinator are mutually exclusive (a process is one or the other)")
+	}
+	if f.Worker {
+		if f.Serve == "" {
+			return nil, errors.New("-worker requires -serve (the address the coordinator reaches this worker on)")
+		}
+		if f.Checkpoint != "" || f.Resume {
+			return nil, errors.New("-worker cannot take -checkpoint/-resume: the coordinator owns the campaign journal")
+		}
+		if f.Workers != "" {
+			return nil, errors.New("-workers applies to -coordinator, not -worker")
+		}
+		return nil, nil
+	}
+	if !f.Coordinator {
+		if f.Workers != "" {
+			return nil, errors.New("-workers requires -coordinator")
+		}
+		return nil, nil
+	}
+	if f.Workers == "" {
+		return nil, errors.New("-coordinator requires -workers (the pool to shard tasks across)")
+	}
+	var urls []string
+	for _, w := range strings.Split(f.Workers, ",") {
+		w = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(w), "/"))
+		if w == "" {
+			continue
+		}
+		if !strings.HasPrefix(w, "http://") && !strings.HasPrefix(w, "https://") {
+			w = "http://" + w
+		}
+		urls = append(urls, w)
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("-workers lists no usable worker URLs")
+	}
+	return urls, nil
+}
+
+// RequireNoFabric rejects the fabric flags for programs that only run
+// locally: phtmap's mapping sweep has no campaign task list to shard.
+func (f Flags) RequireNoFabric(prog string) error {
+	if f.Coordinator || f.Worker || f.Workers != "" {
+		return fmt.Errorf("%s runs locally only; -coordinator/-worker/-workers apply to campaign programs (use cmd/experiments or cmd/branchscope)", prog)
+	}
+	return nil
 }
 
 // ChaosPlan resolves -chaos/-chaos-seed into a fault plan. It returns
@@ -222,6 +291,10 @@ type Options struct {
 	// tests pass a buffer). Stdout is never an option: it is reserved
 	// for the deterministic report.
 	LogWriter io.Writer
+	// Fabric, when non-nil, mounts the distributed-campaign worker
+	// endpoint under /fabric/ on the -serve server (typically a
+	// fabric.Worker handler; see internal/fabric).
+	Fabric http.Handler
 }
 
 // Session is one CLI run's observability state.
@@ -315,6 +388,7 @@ func NewSession(prog string, f Flags, o Options) (*Session, error) {
 			Status:     s.wrapStatus(o.Status),
 			Ready:      o.Ready,
 			Introspect: leakage.LatestIntrospection,
+			Fabric:     o.Fabric,
 			Log:        log,
 		}
 		if f.Archive != "" {
@@ -427,9 +501,11 @@ func (s *Session) Close() error {
 
 	if s.server != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		if err := s.server.Shutdown(ctx); err != nil {
+		res, err := s.server.Drain(ctx)
+		if err != nil {
 			errs = append(errs, fmt.Errorf("shutting down observability server: %w", err))
 		}
+		s.Log.Info("observability server stopped", "drain", res.String())
 		cancel()
 	}
 	if s.flags.MetricsOut != "" {

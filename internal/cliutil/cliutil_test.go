@@ -36,6 +36,7 @@ func TestFlagRegistrationParity(t *testing.T) {
 		"chaos", "chaos-seed", "retry",
 		"checkpoint", "resume", "watchdog", "breaker",
 		"archive",
+		"coordinator", "workers", "worker",
 	}
 	for _, name := range want {
 		if fs.Lookup(name) == nil {
@@ -444,6 +445,47 @@ func TestSessionRepairsTornLedger(t *testing.T) {
 	}
 	if len(recs) != 2 || recs[0].ID != "a" || recs[1].ID != "b" {
 		t.Errorf("ledger records = %+v, want a then b", recs)
+	}
+}
+
+// TestFabricFlagValidation pins the fabric flag combinations shared by
+// the campaign CLIs.
+func TestFabricFlagValidation(t *testing.T) {
+	if urls, err := (Flags{}).FabricWorkers(); err != nil || urls != nil {
+		t.Errorf("no fabric flags: urls=%v err=%v, want nil/nil", urls, err)
+	}
+	if _, err := (Flags{Coordinator: true}).FabricWorkers(); err == nil {
+		t.Error("-coordinator without -workers accepted")
+	}
+	if _, err := (Flags{Workers: "http://x:1"}).FabricWorkers(); err == nil {
+		t.Error("-workers without -coordinator accepted")
+	}
+	if _, err := (Flags{Worker: true}).FabricWorkers(); err == nil {
+		t.Error("-worker without -serve accepted")
+	}
+	if _, err := (Flags{Worker: true, Coordinator: true, Serve: ":0", Workers: "x"}).FabricWorkers(); err == nil {
+		t.Error("-worker -coordinator accepted together")
+	}
+	if _, err := (Flags{Worker: true, Serve: ":0", Checkpoint: "j"}).FabricWorkers(); err == nil {
+		t.Error("-worker with -checkpoint accepted (the coordinator owns the journal)")
+	}
+	urls, err := (Flags{Coordinator: true, Workers: " 127.0.0.1:9001 , http://127.0.0.1:9002/ "}).FabricWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://127.0.0.1:9001", "http://127.0.0.1:9002"}
+	if len(urls) != 2 || urls[0] != want[0] || urls[1] != want[1] {
+		t.Errorf("worker URLs = %v, want %v", urls, want)
+	}
+
+	if err := (Flags{}).RequireNoFabric("prog"); err != nil {
+		t.Errorf("RequireNoFabric without flags: %v", err)
+	}
+	if err := (Flags{Coordinator: true}).RequireNoFabric("prog"); err == nil {
+		t.Error("local-only program accepted -coordinator")
+	}
+	if err := (Flags{Worker: true}).RequireNoFabric("prog"); err == nil {
+		t.Error("local-only program accepted -worker")
 	}
 }
 

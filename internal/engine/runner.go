@@ -38,6 +38,24 @@ func (t Task) family() string {
 	return t.ID
 }
 
+// BreakerFamily exposes the resolved breaker grouping for schedulers
+// outside the package (the fabric coordinator admits tasks against a
+// shared BreakerSet before dispatching them to workers, and must group
+// exactly as RunTask would).
+func (t Task) BreakerFamily() string { return t.family() }
+
+// SkippedBreakerReport builds the report RunTask produces for a task
+// short-circuited by an open breaker. Exported because the fabric
+// coordinator settles admission-refused tasks without a runner, and
+// the report bytes must match a single-process run's exactly.
+func SkippedBreakerReport(t Task, seed uint64, runID string) Report {
+	return Report{
+		Task: t, Seed: seed, RunID: runID,
+		SkippedBreaker: true,
+		Err:            fmt.Errorf("engine: task %s: %w (family %q)", t.ID, ErrBreakerOpen, t.family()),
+	}
+}
+
 // Report is the outcome of one task run.
 type Report struct {
 	Task Task
@@ -134,8 +152,7 @@ func (r *Runner) RunTask(ctx context.Context, t Task, cfg Config) Report {
 	if !r.Breakers.Admit(t.family()) {
 		// The family's breaker is open: don't even start the task (no
 		// OnStart), but observers must still see it finish.
-		rep.SkippedBreaker = true
-		rep.Err = fmt.Errorf("engine: task %s: %w (family %q)", t.ID, ErrBreakerOpen, t.family())
+		rep = SkippedBreakerReport(t, taskSeed, r.RunID)
 		if r.OnDone != nil {
 			r.OnDone(rep)
 		}

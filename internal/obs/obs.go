@@ -22,6 +22,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"branchscope/internal/telemetry"
@@ -47,6 +48,11 @@ type Server struct {
 	// runstore.List closure over the -archive directory, injected by
 	// cliutil so obs stays a leaf). nil serves an empty listing.
 	Runs func() (any, error)
+	// Fabric, when non-nil, is mounted under /fabric/ — the
+	// distributed-campaign worker endpoint (typically a fabric.Worker
+	// handler, injected by cliutil so obs stays a leaf). nil serves
+	// 404 under the prefix.
+	Fabric http.Handler
 	// Log receives handler errors; nil discards them.
 	Log *slog.Logger
 }
@@ -151,6 +157,9 @@ func (s *Server) Handler() http.Handler {
 			s.Log.Error("runs render failed", "err", err)
 		}
 	})
+	if s.Fabric != nil {
+		mux.Handle("/fabric/", http.StripPrefix("/fabric", s.Fabric))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -206,8 +215,17 @@ func (s *Server) Start(addr string) (*Handle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	h := &Handle{addr: ln.Addr(), srv: srv, done: make(chan struct{})}
+	h := &Handle{addr: ln.Addr(), done: make(chan struct{})}
+	// Count in-flight requests so Drain can report how many a
+	// deadline-bounded shutdown had to abandon.
+	inner := s.Handler()
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.inflight.Add(1)
+		defer h.inflight.Add(-1)
+		inner.ServeHTTP(w, r)
+	})
+	srv := &http.Server{Handler: counted, ReadHeaderTimeout: 5 * time.Second}
+	h.srv = srv
 	go func() {
 		defer close(h.done)
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -226,6 +244,51 @@ type Handle struct {
 	srv      *http.Server
 	done     chan struct{}
 	serveErr error
+	inflight atomic.Int64
+}
+
+// DrainResult reports how a graceful shutdown went: whether every
+// in-flight scrape/ledger request completed before the deadline, how
+// many were abandoned when it hit, and how long the drain waited.
+type DrainResult struct {
+	Drained bool
+	Active  int
+	Waited  time.Duration
+}
+
+// String renders the result for the final shutdown log line.
+func (d DrainResult) String() string {
+	if d.Drained {
+		return fmt.Sprintf("drained in-flight requests in %s", d.Waited.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("drain deadline hit after %s with %d request(s) in flight (force-closed)",
+		d.Waited.Round(time.Millisecond), d.Active)
+}
+
+// Drain shuts the server down gracefully, letting in-flight requests
+// finish until ctx expires; on deadline it force-closes what remains.
+// Either way the serve loop has exited when Drain returns. Nil-safe;
+// idempotent.
+func (h *Handle) Drain(ctx context.Context) (DrainResult, error) {
+	if h == nil {
+		return DrainResult{Drained: true}, nil
+	}
+	start := time.Now()
+	err := h.srv.Shutdown(ctx)
+	res := DrainResult{Waited: time.Since(start)}
+	if err != nil {
+		// Deadline hit with connections still open: report what was
+		// abandoned, then close them so the serve loop exits.
+		res.Active = int(h.inflight.Load())
+		h.srv.Close()
+	} else {
+		res.Drained = true
+	}
+	<-h.done
+	if err == nil {
+		err = h.serveErr
+	}
+	return res, err
 }
 
 // Addr returns the bound address ("127.0.0.1:43521").
@@ -236,16 +299,9 @@ func (h *Handle) Addr() string {
 	return h.addr.String()
 }
 
-// Shutdown drains in-flight requests until ctx expires, then waits for
-// the serve loop to exit. Nil-safe; idempotent.
+// Shutdown is Drain without the result — kept for callers that don't
+// log the drain outcome.
 func (h *Handle) Shutdown(ctx context.Context) error {
-	if h == nil {
-		return nil
-	}
-	err := h.srv.Shutdown(ctx)
-	<-h.done
-	if err == nil {
-		err = h.serveErr
-	}
+	_, err := h.Drain(ctx)
 	return err
 }

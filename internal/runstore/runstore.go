@@ -9,9 +9,11 @@
 // seed, the invocation family (program + ordered task list + scale) and
 // a digest of the result-shaping configuration. Flags that only change
 // *how* a run executes — `-parallel`, `-checkpoint`/`-resume`,
-// `-watchdog`, output paths — are deliberately excluded, so a run
-// resumed after a crash or re-run at a different worker count archives
-// under the same RunID with a byte-identical manifest. That makes the
+// `-watchdog`, the fabric flags (`-coordinator`/`-workers`/`-worker`),
+// output paths — are deliberately excluded, so a run resumed after a
+// crash, re-run at a different `-parallel` width, or distributed
+// across a worker pool archives under the same RunID with a
+// byte-identical manifest. That makes the
 // archive a regression oracle: CI runs a suite twice and `bsctl diff`
 // must come back empty.
 //
@@ -62,7 +64,8 @@ type Identity struct {
 	Tasks []string `json:"tasks"`
 	// Config carries the result-shaping flags (chaos plan, retry
 	// budget, timeout, experiment-specific knobs). Execution-shape
-	// flags (-parallel, -checkpoint, -resume, -watchdog, sink paths)
+	// flags (-parallel, -checkpoint, -resume, -watchdog, the fabric
+	// flags -coordinator/-workers/-worker, sink paths)
 	// must never appear here: the RunID is the contract that they
 	// cannot change the result.
 	Config map[string]any `json:"config"`
