@@ -120,6 +120,9 @@ func run() (code int) {
 	if err := obsFlags.RequireNoCampaign("branchscope"); err != nil {
 		return usageErr("%v", err)
 	}
+	if err := obsFlags.RequireNoService("branchscope"); err != nil {
+		return usageErr("%v", err)
+	}
 	// -coordinator/-worker/-workers: the distributed fabric (see
 	// internal/fabric). For this single-task CLI the coordinator
 	// dispatches the one covert run to the pool and prints the merged

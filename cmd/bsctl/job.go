@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"branchscope/internal/svc"
+)
+
+// cmdJob drives the campaign job service (cmd/experiments -service):
+// submit a branchscope.job/v1 spec, inspect jobs, follow a job's
+// branchscope.ledger/v1 stream, cancel a job.
+func cmdJob(args []string) error {
+	if len(args) == 0 {
+		return errors.New("job requires a subcommand: submit | status | stream | cancel")
+	}
+	switch sub := args[0]; sub {
+	case "submit":
+		return jobSubmit(args[1:])
+	case "status":
+		return jobStatus(args[1:])
+	case "stream":
+		return jobStream(args[1:])
+	case "cancel":
+		return jobCancel(args[1:])
+	default:
+		return fmt.Errorf("unknown job subcommand %q (want submit, status, stream or cancel)", sub)
+	}
+}
+
+// addrFlag registers the shared -addr flag.
+func addrFlag(fs *flag.FlagSet) *string {
+	return fs.String("addr", "", "campaign service base URL, e.g. http://127.0.0.1:8080 (required)")
+}
+
+// baseURL validates and normalizes -addr.
+func baseURL(addr string) (string, error) {
+	if addr == "" {
+		return "", errors.New("job requires -addr (the service's -serve address)")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/"), nil
+}
+
+// apiError renders a non-2xx answer, surfacing the structured errorDoc
+// fields (scope, Retry-After) the service shed with.
+func apiError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var doc struct {
+		Error             string `json:"error"`
+		Scope             string `json:"scope"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if json.Unmarshal(b, &doc) == nil && doc.Error != "" {
+		msg := fmt.Sprintf("%s: %s", resp.Status, doc.Error)
+		if doc.Scope != "" {
+			msg += fmt.Sprintf(" (scope %s)", doc.Scope)
+		}
+		if doc.RetryAfterSeconds > 0 {
+			msg += fmt.Sprintf("; retry after %ds", doc.RetryAfterSeconds)
+		}
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+}
+
+// copyBody streams a 2xx response body (already JSON or NDJSON) to
+// stdout; non-2xx becomes an error.
+func copyBody(resp *http.Response) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	_, err := io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// jobSubmit posts a spec assembled from flags mirroring the
+// cmd/experiments result-shaping flags; trailing args select
+// experiment ids (empty = the full suite). -stream follows the job to
+// completion after the 201.
+func jobSubmit(args []string) error {
+	fs := flag.NewFlagSet("bsctl job submit", flag.ExitOnError)
+	addr := addrFlag(fs)
+	tenant := fs.String("tenant", "", "tenant name, a safe path component (required)")
+	seed := fs.Uint64("seed", 0, "base seed (0 = service default, 1)")
+	quick := fs.Bool("quick", false, "run test-scale configurations")
+	chaosFlag := fs.String("chaos", "", "chaos plan: light|moderate|heavy, an intensity float, or JSON")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "chaos schedule seed (0 = derive from the base seed)")
+	retry := fs.Int("retry", 0, "per-task retry budget (0 = no retries)")
+	breaker := fs.Int("breaker", 0, "per-family circuit-breaker threshold (0 = off)")
+	timeout := fs.Duration("timeout", 0, "per-task wall-time limit (0 = unbounded)")
+	deadline := fs.Duration("deadline", 0, "whole-job wall-time limit (0 = unbounded)")
+	follow := fs.Bool("stream", false, "follow the job's ledger stream after submitting")
+	fs.Parse(args)
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	if *tenant == "" {
+		return errors.New("job submit requires -tenant")
+	}
+	sp := svc.Spec{
+		Schema:     svc.SpecSchema,
+		Tenant:     *tenant,
+		BaseSeed:   *seed,
+		Quick:      *quick,
+		Tasks:      fs.Args(),
+		Chaos:      *chaosFlag,
+		ChaosSeed:  *chaosSeed,
+		Retry:      *retry,
+		Breaker:    *breaker,
+		TimeoutMS:  timeout.Milliseconds(),
+		DeadlineMS: deadline.Milliseconds(),
+	}
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return apiError(resp)
+	}
+	var st svc.JobStatus
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("decoding job status: %w", err)
+	}
+	os.Stdout.Write(raw)
+	if !*follow {
+		return nil
+	}
+	return streamJob(base, st.ID)
+}
+
+// jobStatus fetches one job (trailing job-id) or lists jobs
+// (optionally filtered by -tenant).
+func jobStatus(args []string) error {
+	fs := flag.NewFlagSet("bsctl job status", flag.ExitOnError)
+	addr := addrFlag(fs)
+	tenant := fs.String("tenant", "", "list only this tenant's jobs")
+	fs.Parse(args)
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	url := base + "/jobs"
+	switch {
+	case fs.NArg() == 1:
+		url += "/" + fs.Arg(0)
+	case fs.NArg() > 1:
+		return errors.New("job status takes at most one job-id")
+	case *tenant != "":
+		url += "?tenant=" + *tenant
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return copyBody(resp)
+}
+
+// jobStream follows one job's ledger stream to EOF (job settled).
+func jobStream(args []string) error {
+	fs := flag.NewFlagSet("bsctl job stream", flag.ExitOnError)
+	addr := addrFlag(fs)
+	fs.Parse(args)
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("job stream takes exactly one job-id")
+	}
+	return streamJob(base, fs.Arg(0))
+}
+
+func streamJob(base, id string) error {
+	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	return copyBody(resp)
+}
+
+// jobCancel cancels a queued or running job.
+func jobCancel(args []string) error {
+	fs := flag.NewFlagSet("bsctl job cancel", flag.ExitOnError)
+	addr := addrFlag(fs)
+	fs.Parse(args)
+	base, err := baseURL(*addr)
+	if err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("job cancel takes exactly one job-id")
+	}
+	resp, err := http.Post(base+"/jobs/"+fs.Arg(0)+"/cancel", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	return copyBody(resp)
+}

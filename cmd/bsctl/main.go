@@ -8,6 +8,8 @@
 //	bsctl tail [-f] <ledger.jsonl>       # follow a live ledger, torn-tolerant
 //	bsctl diff [-all] <runA> <runB>      # structural diff; empty = same run
 //	bsctl check -baseline <path> <path>  # median/MAD regression gate
+//	bsctl job <submit|status|stream|cancel> -addr URL ...
+//	                                     # drive a campaign job service
 //
 // Exit codes: 0 clean, 1 differences/drift/failed records, 2 usage or
 // I/O errors — so `bsctl diff` and `bsctl check` gate CI directly.
@@ -28,6 +30,11 @@ commands:
   diff  [-all] <runA> <runB>       structural diff of two archived runs
   check -baseline <path> [flags] <candidate>...
                                    robust regression gate vs a baseline
+  job   submit -addr URL -tenant T [flags] [id ...]
+                                   submit a job to a campaign service
+  job   status -addr URL [-tenant T] [job-id]
+  job   stream -addr URL <job-id>  follow a job's ledger stream to EOF
+  job   cancel -addr URL <job-id>
 `)
 }
 
@@ -49,6 +56,8 @@ func main() {
 		dirty, err = cmdDiff(os.Args[2:])
 	case "check":
 		dirty, err = cmdCheck(os.Args[2:])
+	case "job":
+		err = cmdJob(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return

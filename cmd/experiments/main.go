@@ -14,6 +14,9 @@
 //	            [-metrics-out m.json] [-trace-out t.json]
 //	            [-leakage-out lk.json] [-introspect-out pht.json]
 //	            [-archive dir]
+//	            [-service] [-svc-jobs N] [-svc-queue N]
+//	            [-svc-tenant-running N] [-svc-tenant-queue N]
+//	            [-svc-journal svc.journal]
 //	            [-log-format text|json] [-log-level info]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [id ...]
 //
@@ -93,6 +96,19 @@
 // <dir>/<run-id>/; the manifest is byte-identical at any -parallel and
 // across a crash+-resume. Inspect archives with cmd/bsctl
 // (list/show/tail/diff/check).
+//
+// Campaign service (see internal/svc and DESIGN §3.21): -service turns
+// the process into a multi-tenant job service on the -serve address.
+// Clients POST branchscope.job/v1 specs to /jobs; each job runs in its
+// own isolated simulator instance (own runner, breakers, retry policy,
+// chaos overrides, deadline) on the shared pool, streams its results
+// as branchscope.ledger/v1 JSONL from /jobs/{id}/stream, and archives
+// under -archive <dir>/<tenant>/<run-id>/ with the same run ID — and
+// byte-identical report/export/manifest — as a direct CLI run of the
+// same spec. -svc-jobs/-svc-queue/-svc-tenant-running/-svc-tenant-queue
+// set the admission quotas (shed with 429 + Retry-After); -svc-journal
+// makes submissions durable across restarts. Drive it with bsctl job
+// submit/status/stream/cancel.
 package main
 
 import (
@@ -116,6 +132,7 @@ import (
 	"branchscope/internal/fabric"
 	"branchscope/internal/obs"
 	"branchscope/internal/runstore"
+	"branchscope/internal/svc"
 	"branchscope/internal/telemetry"
 )
 
@@ -159,6 +176,21 @@ func run() (code int) {
 	if obsFlags.Worker {
 		if *check || *mdPath != "" || *jsonPath != "" || flag.NArg() > 0 {
 			fmt.Fprintln(os.Stderr, "experiments: -worker serves tasks chosen by its coordinator; -check/-md/-json and experiment ids belong on the coordinator")
+			flag.Usage()
+			return 2
+		}
+	}
+	// -service/-svc-*: the multi-tenant campaign job service (see
+	// internal/svc and DESIGN §3.21). Execution-shape flags: a job's
+	// outputs are shaped by its spec, never by where it ran.
+	if err := obsFlags.ServiceMode(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		flag.Usage()
+		return 2
+	}
+	if obsFlags.Service {
+		if *check || *mdPath != "" || *jsonPath != "" || flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "experiments: -service runs jobs submitted over HTTP; -check/-md/-json and experiment ids belong to direct invocations (or job specs)")
 			flag.Usage()
 			return 2
 		}
@@ -211,6 +243,7 @@ func run() (code int) {
 	tracker := obs.NewTracker("experiments", *seed, *quick, ids)
 	breakers := obsFlags.Breakers()
 	var sess *cliutil.Session
+	var service *svc.Service
 	// /statusz reflects breaker state and probe degradations alongside
 	// task progress; /readyz degrades while any family's breaker is open.
 	statusFn := func() obs.Status {
@@ -224,19 +257,27 @@ func run() (code int) {
 		if sess != nil && sess.Metrics != nil {
 			st.DegradedProbes = sess.Metrics.Counter("core.probe.degradations").Value()
 		}
+		st.Service = service.Status()
 		return st
 	}
 	// Worker mode mounts the fabric endpoint on the -serve server; the
 	// worker's runner and identity fields are filled in below, before
-	// any coordinator can find the process ready.
+	// any coordinator can find the process ready. Service mode mounts
+	// the /jobs handler the same way (503 until Start wires it below).
 	var wk *fabric.Worker
 	opts := cliutil.Options{
 		Status: statusFn,
-		Ready:  func() bool { return tracker.Ready() && !breakers.AnyOpen() },
+		Ready: func() bool {
+			return tracker.Ready() && !breakers.AnyOpen() && (service == nil || service.Ready())
+		},
 	}
 	if obsFlags.Worker {
 		wk = &fabric.Worker{}
 		opts.Fabric = wk.Handler()
+	}
+	if obsFlags.Service {
+		service = svc.New()
+		opts.Jobs = service.Handler()
 	}
 	sess, err = cliutil.NewSession("experiments", obsFlags, opts)
 	if err != nil {
@@ -395,6 +436,51 @@ func run() (code int) {
 		sess.Log.Info("fabric worker serving", "tasks", len(byID), "crash_after", wk.CrashAfter)
 		<-ctx.Done()
 		sess.Log.Info("fabric worker interrupted, shutting down")
+		return 0
+	}
+
+	// Service mode: host the campaign job service until interrupted.
+	// Job specs carry their own chaos/retry knobs; Isolate installs them
+	// as context-scoped overrides so a job never inherits this CLI's
+	// -chaos/-retry defaults — or another tenant's. Crash faults never
+	// apply in-process (a job spec must not kill the service), which
+	// matches the identity: Spec identities zero the crash point too.
+	if service != nil {
+		isolate := func(jctx context.Context, sp svc.Spec) context.Context {
+			ov := &experiments.Overrides{Retry: sp.Flags().RetryConfig()}
+			if p, err := sp.Flags().ChaosPlan(sp.Seed()); err == nil && p != nil && p.HasEpisodeFaults() {
+				ov.Chaos = p
+			}
+			return experiments.WithOverrides(jctx, ov)
+		}
+		err := service.Start(svc.Config{
+			Program:     "experiments",
+			Tasks:       experiments.Tasks(experiments.All()),
+			Pool:        pool,
+			ArchiveDir:  obsFlags.Archive,
+			JournalPath: obsFlags.SvcJournal,
+			Limits: svc.Limits{
+				Jobs: obsFlags.SvcJobs, Queue: obsFlags.SvcQueue,
+				TenantRunning: obsFlags.SvcTenantRunning, TenantQueue: obsFlags.SvcTenantQueue,
+			},
+			Isolate: isolate,
+			Log:     sess.Log,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		defer service.Close()
+		sess.Log.Info("campaign service serving",
+			"archive", obsFlags.Archive, "journal", obsFlags.SvcJournal)
+		<-ctx.Done()
+		// Drain: stop admissions (new submissions get 503 + Retry-After),
+		// give running jobs a bounded grace window, then cancel them.
+		// Queued jobs stay journaled; a restart re-enqueues them.
+		sess.Log.Info("campaign service interrupted, draining")
+		dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer dcancel()
+		service.Drain(dctx)
 		return 0
 	}
 

@@ -96,6 +96,11 @@ func run() (code int) {
 		flag.Usage()
 		return 2
 	}
+	if err := obsFlags.RequireNoService("phtmap"); err != nil {
+		fmt.Fprintln(os.Stderr, "phtmap:", err)
+		flag.Usage()
+		return 2
+	}
 
 	// The single mapping task this CLI runs, as /statusz reports it.
 	tracker := obs.NewTracker("phtmap", *seed, false, []string{"fig5"})

@@ -82,6 +82,19 @@ type Flags struct {
 	Coordinator bool
 	Workers     string
 	Worker      bool
+	// Service and the Svc* knobs are the multi-tenant campaign job
+	// service surface (see internal/svc): -service accepts
+	// branchscope.job/v1 submissions on the -serve address instead of
+	// running the suite locally; the Svc* limits bound concurrent and
+	// queued jobs globally and per tenant (0 = the service defaults),
+	// and -svc-journal makes admitted jobs survive a restart. All
+	// execution-shape: each job's run identity comes from its spec.
+	Service          bool
+	SvcJobs          int
+	SvcQueue         int
+	SvcTenantRunning int
+	SvcTenantQueue   int
+	SvcJournal       string
 }
 
 // Register installs the shared flags on fs.
@@ -107,6 +120,12 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Coordinator, "coordinator", false, "run as a distributed-campaign coordinator: shard the task list across the -workers pool and merge their streamed outcomes (byte-identical to a single-process run)")
 	fs.StringVar(&f.Workers, "workers", "", "comma-separated worker base URLs for -coordinator (e.g. http://127.0.0.1:9001,http://127.0.0.1:9002)")
 	fs.BoolVar(&f.Worker, "worker", false, "run as a distributed-campaign worker: serve fabric assignments from a coordinator on the -serve address instead of running the suite locally")
+	fs.BoolVar(&f.Service, "service", false, "run as a multi-tenant campaign job service: accept branchscope.job/v1 submissions on the -serve address (POST /jobs) instead of running the suite locally")
+	fs.IntVar(&f.SvcJobs, "svc-jobs", 0, "service mode: max jobs running concurrently across all tenants (0 = 2)")
+	fs.IntVar(&f.SvcQueue, "svc-queue", 0, "service mode: max jobs queued across all tenants before submissions shed with 429 (0 = 16)")
+	fs.IntVar(&f.SvcTenantRunning, "svc-tenant-running", 0, "service mode: max jobs one tenant may run concurrently; excess queues fairly (0 = 1)")
+	fs.IntVar(&f.SvcTenantQueue, "svc-tenant-queue", 0, "service mode: max jobs one tenant may have queued before its submissions shed with 429 (0 = 4)")
+	fs.StringVar(&f.SvcJournal, "svc-journal", "", "service mode: journal admitted jobs to this crash-safe file so queued jobs survive a service restart")
 }
 
 // FabricWorkers validates the fabric flag combination and resolves the
@@ -159,6 +178,43 @@ func (f Flags) FabricWorkers() ([]string, error) {
 func (f Flags) RequireNoFabric(prog string) error {
 	if f.Coordinator || f.Worker || f.Workers != "" {
 		return fmt.Errorf("%s runs locally only; -coordinator/-worker/-workers apply to campaign programs (use cmd/experiments or cmd/branchscope)", prog)
+	}
+	return nil
+}
+
+// ServiceMode validates the service flag combination for the one
+// program that can serve jobs (cmd/experiments). Service mode needs an
+// address to serve on and is exclusive with the fabric and campaign
+// modes: jobs carry their own durability (-svc-journal) and a service
+// process is a scheduler, not a one-shot campaign.
+func (f Flags) ServiceMode() error {
+	if !f.Service {
+		if f.SvcJobs != 0 || f.SvcQueue != 0 || f.SvcTenantRunning != 0 || f.SvcTenantQueue != 0 || f.SvcJournal != "" {
+			return errors.New("-svc-jobs/-svc-queue/-svc-tenant-running/-svc-tenant-queue/-svc-journal require -service")
+		}
+		return nil
+	}
+	if f.Serve == "" {
+		return errors.New("-service requires -serve (the address clients submit jobs to)")
+	}
+	if f.Coordinator || f.Worker {
+		return errors.New("-service excludes -coordinator/-worker: a process serves jobs or joins a fabric, not both")
+	}
+	if f.Checkpoint != "" || f.Resume {
+		return errors.New("-service cannot take -checkpoint/-resume: job durability comes from -svc-journal, per admitted job")
+	}
+	if f.SvcJobs < 0 || f.SvcQueue < 0 || f.SvcTenantRunning < 0 || f.SvcTenantQueue < 0 {
+		return errors.New("-svc-* limits must be >= 0 (0 = the service default)")
+	}
+	return nil
+}
+
+// RequireNoService rejects the service flags for programs that cannot
+// serve jobs: only cmd/experiments has the task registry a job spec
+// selects from.
+func (f Flags) RequireNoService(prog string) error {
+	if f.Service || f.SvcJobs != 0 || f.SvcQueue != 0 || f.SvcTenantRunning != 0 || f.SvcTenantQueue != 0 || f.SvcJournal != "" {
+		return fmt.Errorf("%s runs locally only; -service and -svc-* apply to cmd/experiments", prog)
 	}
 	return nil
 }
@@ -295,6 +351,10 @@ type Options struct {
 	// endpoint under /fabric/ on the -serve server (typically a
 	// fabric.Worker handler; see internal/fabric).
 	Fabric http.Handler
+	// Jobs, when non-nil, mounts the campaign job service at /jobs on
+	// the -serve server (typically a svc.Service handler; see
+	// internal/svc).
+	Jobs http.Handler
 }
 
 // Session is one CLI run's observability state.
@@ -389,6 +449,7 @@ func NewSession(prog string, f Flags, o Options) (*Session, error) {
 			Ready:      o.Ready,
 			Introspect: leakage.LatestIntrospection,
 			Fabric:     o.Fabric,
+			Jobs:       o.Jobs,
 			Log:        log,
 		}
 		if f.Archive != "" {

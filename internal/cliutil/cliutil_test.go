@@ -37,6 +37,8 @@ func TestFlagRegistrationParity(t *testing.T) {
 		"checkpoint", "resume", "watchdog", "breaker",
 		"archive",
 		"coordinator", "workers", "worker",
+		"service", "svc-jobs", "svc-queue",
+		"svc-tenant-running", "svc-tenant-queue", "svc-journal",
 	}
 	for _, name := range want {
 		if fs.Lookup(name) == nil {
@@ -486,6 +488,46 @@ func TestFabricFlagValidation(t *testing.T) {
 	}
 	if err := (Flags{Worker: true}).RequireNoFabric("prog"); err == nil {
 		t.Error("local-only program accepted -worker")
+	}
+}
+
+// TestServiceFlagValidation pins the service flag combinations: the
+// mode needs a serve address, excludes the fabric and campaign modes,
+// and local-only programs reject the whole surface.
+func TestServiceFlagValidation(t *testing.T) {
+	if err := (Flags{}).ServiceMode(); err != nil {
+		t.Errorf("no service flags: %v", err)
+	}
+	if err := (Flags{SvcJobs: 2}).ServiceMode(); err == nil {
+		t.Error("-svc-jobs without -service accepted")
+	}
+	if err := (Flags{Service: true}).ServiceMode(); err == nil {
+		t.Error("-service without -serve accepted")
+	}
+	if err := (Flags{Service: true, Serve: ":0", Worker: true}).ServiceMode(); err == nil {
+		t.Error("-service with -worker accepted")
+	}
+	if err := (Flags{Service: true, Serve: ":0", Coordinator: true}).ServiceMode(); err == nil {
+		t.Error("-service with -coordinator accepted")
+	}
+	if err := (Flags{Service: true, Serve: ":0", Checkpoint: "j"}).ServiceMode(); err == nil {
+		t.Error("-service with -checkpoint accepted")
+	}
+	if err := (Flags{Service: true, Serve: ":0", SvcQueue: -1}).ServiceMode(); err == nil {
+		t.Error("negative -svc-queue accepted")
+	}
+	if err := (Flags{Service: true, Serve: ":0", SvcJobs: 4, SvcJournal: "j"}).ServiceMode(); err != nil {
+		t.Errorf("valid service flags rejected: %v", err)
+	}
+
+	if err := (Flags{}).RequireNoService("prog"); err != nil {
+		t.Errorf("RequireNoService without flags: %v", err)
+	}
+	if err := (Flags{Service: true}).RequireNoService("prog"); err == nil {
+		t.Error("local-only program accepted -service")
+	}
+	if err := (Flags{SvcJournal: "j"}).RequireNoService("prog"); err == nil {
+		t.Error("local-only program accepted -svc-journal")
 	}
 }
 

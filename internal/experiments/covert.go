@@ -260,15 +260,31 @@ func RunCovert(ctx context.Context, cfg CovertConfig) (CovertResult, error) {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 3
 	}
-	if cfg.Telemetry == nil {
-		cfg.Telemetry = DefaultTelemetry()
-	}
-	if cfg.Chaos == nil {
-		cfg.Chaos = DefaultChaos()
-	}
-	if cfg.Retry == (core.RetryConfig{}) {
-		if rc := DefaultRetry(); rc != nil {
-			cfg.Retry = *rc
+	if ov := OverridesFrom(ctx); ov != nil {
+		// Context overrides replace the process-wide defaults entirely:
+		// a service job must run under exactly its own spec's chaos and
+		// retry knobs, never inherit another tenant's (or the host
+		// CLI's). Nil override fields mean "none", not "fall back".
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = ov.Telemetry
+		}
+		if cfg.Chaos == nil {
+			cfg.Chaos = ov.Chaos
+		}
+		if cfg.Retry == (core.RetryConfig{}) && ov.Retry != nil {
+			cfg.Retry = *ov.Retry
+		}
+	} else {
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = DefaultTelemetry()
+		}
+		if cfg.Chaos == nil {
+			cfg.Chaos = DefaultChaos()
+		}
+		if cfg.Retry == (core.RetryConfig{}) {
+			if rc := DefaultRetry(); rc != nil {
+				cfg.Retry = *rc
+			}
 		}
 	}
 	root := rng.New(cfg.Seed ^ 0xc0de)

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"context"
+
+	"branchscope/internal/chaos"
+	"branchscope/internal/core"
+	"branchscope/internal/telemetry"
+)
+
+// Overrides is a per-run replacement for the process-wide defaults
+// (SetDefaultChaos/SetDefaultRetry/SetDefaultTelemetry). The campaign
+// service installs one on each job's context so a job runs under
+// exactly its own spec's chaos plan and retry policy — never under
+// another tenant's, and never under the host CLI's flags. A nil field
+// means "none", not "fall back to the default": presence of the
+// struct replaces the defaults entirely, which is what makes the
+// isolation hard.
+type Overrides struct {
+	Telemetry *telemetry.Set
+	Chaos     *chaos.Plan
+	Retry     *core.RetryConfig
+}
+
+// overridesKey carries Overrides through contexts.
+type overridesKey struct{}
+
+// WithOverrides returns a context carrying ov. A nil ov is valid and
+// clears nothing — OverridesFrom simply won't find it.
+func WithOverrides(ctx context.Context, ov *Overrides) context.Context {
+	if ov == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, overridesKey{}, ov)
+}
+
+// OverridesFrom extracts the overrides installed by WithOverrides, nil
+// when the context carries none (the process-wide defaults apply).
+func OverridesFrom(ctx context.Context) *Overrides {
+	ov, _ := ctx.Value(overridesKey{}).(*Overrides)
+	return ov
+}

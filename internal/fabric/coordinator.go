@@ -43,6 +43,26 @@ const (
 	maxFailBackoff = time.Second
 )
 
+// ErrLeaseExpired marks a dispatch that ended because the worker's
+// lease timed out. requeue classifies errors wrapping it as
+// reason=lease-expired in its per-task reassignment log lines.
+var ErrLeaseExpired = errors.New("lease expired")
+
+// requeueReason classifies why a batch came back: a nil dispatch error
+// is a clean stream end without an outcome (worker shut down
+// mid-batch), a lease expiry is distinguished from every other
+// transport or protocol failure.
+func requeueReason(dispatchErr error) string {
+	switch {
+	case dispatchErr == nil:
+		return "worker-closed"
+	case errors.Is(dispatchErr, ErrLeaseExpired):
+		return "lease-expired"
+	default:
+		return "dispatch-failed"
+	}
+}
+
 // Coordinator shards a campaign's task list across worker processes
 // and merges their streamed outcomes into reports byte-identical to a
 // single-process run. See the package comment for the protocol and
@@ -429,7 +449,8 @@ func (c *Coordinator) steal() []*taskState {
 		return nil
 	}
 	oldest.copies++
-	c.logf("fabric: stealing straggler %s (in flight %s)", oldest.task.ID, time.Since(oldest.firstDispatch).Round(time.Millisecond))
+	c.logf("fabric: task %s duplicated: reason=stolen in_flight=%s",
+		oldest.task.ID, time.Since(oldest.firstDispatch).Round(time.Millisecond))
 	return []*taskState{oldest}
 }
 
@@ -440,8 +461,10 @@ func (c *Coordinator) steal() []*taskState {
 // failure — which is how a poison task that keeps killing workers
 // trips its family's breaker for the whole pool.
 func (c *Coordinator) requeue(batch []*taskState, dispatchErr error) int {
+	reason := requeueReason(dispatchErr)
 	c.mu.Lock()
 	var exhausted []*taskState
+	var released []string
 	requeued := 0
 	for _, st := range batch {
 		if st.settled {
@@ -461,6 +484,8 @@ func (c *Coordinator) requeue(batch []*taskState, dispatchErr error) int {
 			// Clean stream end without an outcome (worker shut down
 			// mid-batch): requeue without charging the budget.
 			requeued++
+			released = append(released, fmt.Sprintf("fabric: task %s requeued: reason=%s attempts=%d/%d",
+				st.task.ID, reason, st.attempts, c.dispatchBudget()))
 			continue
 		}
 		st.attempts++
@@ -479,8 +504,16 @@ func (c *Coordinator) requeue(batch []*taskState, dispatchErr error) int {
 			continue
 		}
 		requeued++
+		released = append(released, fmt.Sprintf("fabric: task %s requeued: reason=%s attempts=%d/%d",
+			st.task.ID, reason, st.attempts, c.dispatchBudget()))
 	}
 	c.mu.Unlock()
+	// Every reassignment is logged with a structured reason so an
+	// operator can tell lease expiries from transport failures from
+	// clean worker shutdowns when reconstructing where a task bounced.
+	for _, line := range released {
+		c.logf("%s", line)
+	}
 	for _, st := range exhausted {
 		c.Breakers.Observe(st.task.BreakerFamily(), st.rep.Outcome())
 		c.journal(campaign.RecordOf(st.rep))
@@ -564,12 +597,12 @@ func (c *Coordinator) dispatch(ctx context.Context, url string, batch []*taskSta
 	}
 	if err := sc.Err(); err != nil {
 		if expired.Load() {
-			return fmt.Errorf("fabric: worker %s: lease expired after %s of silence", url, c.lease())
+			return fmt.Errorf("fabric: worker %s: %w after %s of silence", url, ErrLeaseExpired, c.lease())
 		}
 		return fmt.Errorf("fabric: worker %s: reading outcome stream: %w", url, err)
 	}
 	if expired.Load() {
-		return fmt.Errorf("fabric: worker %s: lease expired after %s of silence", url, c.lease())
+		return fmt.Errorf("fabric: worker %s: %w after %s of silence", url, ErrLeaseExpired, c.lease())
 	}
 	return nil
 }

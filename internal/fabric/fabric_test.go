@@ -600,3 +600,49 @@ func TestMidRunTotalWorkerLoss(t *testing.T) {
 		t.Errorf("total-loss merged JSON export differs")
 	}
 }
+
+// TestRequeueReasonClassification pins the structured reason vocabulary
+// requeue logs with: a clean stream end, a lease expiry (matched through
+// error wrapping), and everything else.
+func TestRequeueReasonClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "worker-closed"},
+		{ErrLeaseExpired, "lease-expired"},
+		{fmt.Errorf("fabric: worker w: %w after 1s of silence", ErrLeaseExpired), "lease-expired"},
+		{errors.New("connection refused"), "dispatch-failed"},
+	}
+	for _, tc := range cases {
+		if got := requeueReason(tc.err); got != tc.want {
+			t.Errorf("requeueReason(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestRequeueLogsStructuredReason: every reassignment emits a per-task
+// log line carrying the classified reason and the attempt budget, so an
+// operator can reconstruct where (and why) a task bounced.
+func TestRequeueLogsStructuredReason(t *testing.T) {
+	var lc logCapture
+	c := newCoordinator(nil, "bsr-requeue-log")
+	c.Logf = lc.logf
+	c.DispatchBudget = 5
+	mk := func(id string) *taskState {
+		return &taskState{task: engine.Task{ID: id}, copies: 1}
+	}
+	c.requeue([]*taskState{mk("a")}, nil)
+	c.requeue([]*taskState{mk("b")}, fmt.Errorf("fabric: worker w: %w after 1s of silence", ErrLeaseExpired))
+	c.requeue([]*taskState{mk("c")}, errors.New("read tcp: connection reset"))
+	out := lc.joined()
+	for _, want := range []string{
+		"fabric: task a requeued: reason=worker-closed attempts=0/5",
+		"fabric: task b requeued: reason=lease-expired attempts=1/5",
+		"fabric: task c requeued: reason=dispatch-failed attempts=1/5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q; got:\n%s", want, out)
+		}
+	}
+}

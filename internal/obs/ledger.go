@@ -57,6 +57,11 @@ type LedgerRecord struct {
 	// prefix stripped) the task published, extracted from MetricsDelta
 	// by LeakageFields; omitted for tasks that measured no channel.
 	Leakage map[string]float64 `json:"leakage,omitempty"`
+	// Rows carries the task's structured result rows. Only the campaign
+	// service's job streams set it (file ledgers keep digests only, so
+	// their shape is unchanged); stream clients get the data itself
+	// without waiting for the archive.
+	Rows []json.RawMessage `json:"rows,omitempty"`
 }
 
 // Digest fingerprints a rendered result for a LedgerRecord.

@@ -53,6 +53,11 @@ type Server struct {
 	// handler, injected by cliutil so obs stays a leaf). nil serves
 	// 404 under the prefix.
 	Fabric http.Handler
+	// Jobs, when non-nil, is mounted at /jobs and /jobs/ — the
+	// multi-tenant campaign job service (typically a svc.Service
+	// handler, injected by cliutil so obs stays a leaf). nil serves
+	// 404 under the prefix.
+	Jobs http.Handler
 	// Log receives handler errors; nil discards them.
 	Log *slog.Logger
 }
@@ -160,6 +165,10 @@ func (s *Server) Handler() http.Handler {
 	if s.Fabric != nil {
 		mux.Handle("/fabric/", http.StripPrefix("/fabric", s.Fabric))
 	}
+	if s.Jobs != nil {
+		mux.Handle("/jobs", s.Jobs)
+		mux.Handle("/jobs/", s.Jobs)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -217,11 +226,20 @@ func (s *Server) Start(addr string) (*Handle, error) {
 	}
 	h := &Handle{addr: ln.Addr(), done: make(chan struct{})}
 	// Count in-flight requests so Drain can report how many a
-	// deadline-bounded shutdown had to abandon.
+	// deadline-bounded shutdown had to abandon. While draining, reject
+	// submissions of new work (fabric assignments, service jobs) with
+	// 503 + Retry-After instead of accepting tasks that shutdown will
+	// abandon — reads and cancels still pass, so clients can observe
+	// the drain and withdraw their own work.
 	inner := s.Handler()
 	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		h.inflight.Add(1)
 		defer h.inflight.Add(-1)
+		if h.draining.Load() && rejectWhileDraining(r) {
+			w.Header().Set("Retry-After", "30")
+			http.Error(w, "draining: not accepting new work", http.StatusServiceUnavailable)
+			return
+		}
 		inner.ServeHTTP(w, r)
 	})
 	srv := &http.Server{Handler: counted, ReadHeaderTimeout: 5 * time.Second}
@@ -245,6 +263,29 @@ type Handle struct {
 	done     chan struct{}
 	serveErr error
 	inflight atomic.Int64
+	draining atomic.Bool
+}
+
+// rejectWhileDraining reports whether a request submits new work the
+// draining server must shed: fabric task dispatches and service job
+// submissions. Job cancellation (POST /jobs/{id}/cancel) stays
+// allowed — withdrawing work helps a drain, it doesn't add to it.
+func rejectWhileDraining(r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		return false
+	}
+	return r.URL.Path == "/fabric/run" || r.URL.Path == "/jobs" || r.URL.Path == "/jobs/"
+}
+
+// BeginDrain flips the server into draining mode: work-submitting
+// requests are rejected with 503 + Retry-After while everything else
+// (scrapes, status reads, job streams, cancels) keeps serving. Drain
+// calls it first; exposing it separately lets a host shed new work
+// before it starts waiting on in-flight jobs. Nil-safe.
+func (h *Handle) BeginDrain() {
+	if h != nil {
+		h.draining.Store(true)
+	}
 }
 
 // DrainResult reports how a graceful shutdown went: whether every
@@ -273,6 +314,7 @@ func (h *Handle) Drain(ctx context.Context) (DrainResult, error) {
 	if h == nil {
 		return DrainResult{Drained: true}, nil
 	}
+	h.BeginDrain()
 	start := time.Now()
 	err := h.srv.Shutdown(ctx)
 	res := DrainResult{Waited: time.Since(start)}

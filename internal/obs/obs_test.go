@@ -258,3 +258,69 @@ func TestTrackerStuckAndReplayed(t *testing.T) {
 		t.Errorf("after End: stuck=%d done=%d replayed=%d", s.Stuck, s.Done, s.Replayed)
 	}
 }
+
+// TestDrainRejectsNewWork: a draining server sheds work-submitting
+// POSTs (fabric assignments, service job submissions) with 503 +
+// Retry-After while reads and job cancellation keep serving, so a
+// coordinator or client can observe the drain and go elsewhere instead
+// of handing tasks to a process about to abandon them.
+func TestDrainRejectsNewWork(t *testing.T) {
+	okHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "accepted")
+	})
+	s := &Server{Program: "t", Fabric: okHandler, Jobs: okHandler}
+	h, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		h.Shutdown(ctx)
+	}()
+	base := "http://" + h.Addr()
+
+	post := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Before the drain both submission endpoints accept.
+	for _, path := range []string{"/fabric/run", "/jobs"} {
+		if resp := post(path); resp.StatusCode != http.StatusOK {
+			t.Errorf("pre-drain POST %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	h.BeginDrain()
+
+	for _, path := range []string{"/fabric/run", "/jobs"} {
+		resp := post(path)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("draining POST %s: status %d, want 503", path, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("draining POST %s: missing Retry-After header", path)
+		}
+	}
+	// Withdrawing work stays allowed: cancels help a drain.
+	if resp := post("/jobs/job-000001/cancel"); resp.StatusCode != http.StatusOK {
+		t.Errorf("draining POST cancel: status %d, want 200", resp.StatusCode)
+	}
+	// Reads keep serving so operators can watch the drain.
+	for _, path := range []string{"/healthz", "/statusz", "/jobs"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("draining GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

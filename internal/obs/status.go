@@ -51,6 +51,28 @@ type LeakageStatus struct {
 	SNR                   float64 `json:"snr"`
 }
 
+// ServiceStatus is the /statusz section for the multi-tenant campaign
+// job service (internal/svc). Like BreakerStatus it mirrors the
+// shape instead of importing the package — obs stays a leaf.
+type ServiceStatus struct {
+	// Tenants counts distinct tenants seen since startup.
+	Tenants int `json:"tenants"`
+	// Running/Queued are current occupancy; Done/Failed/Canceled count
+	// settled jobs.
+	Running  int `json:"running"`
+	Queued   int `json:"queued"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// Shed counts submissions rejected by admission control (429/503).
+	Shed int64 `json:"shed"`
+	// QueueCap is the global queue bound; Saturated means the queue is
+	// full (and /readyz degrades).
+	QueueCap  int  `json:"queue_cap"`
+	Saturated bool `json:"saturated"`
+	Draining  bool `json:"draining"`
+}
+
 // HistogramStatus summarizes one metrics histogram for /statusz.
 type HistogramStatus struct {
 	Name  string  `json:"name"`
@@ -106,6 +128,10 @@ type Status struct {
 	// RepairLedgerTail). Surfaced here so the data loss is visible
 	// instead of silent.
 	LedgerTorn bool `json:"ledger_torn,omitempty"`
+	// Service carries the campaign job service's occupancy and
+	// admission-control state when the process runs one; filled by the
+	// serving program, not the tracker.
+	Service *ServiceStatus `json:"service,omitempty"`
 }
 
 // Tracker accumulates per-task progress from engine runner hooks and

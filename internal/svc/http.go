@@ -1,0 +1,162 @@
+package svc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// JobsSchema versions the GET /jobs listing document.
+const JobsSchema = "branchscope.jobs/v1"
+
+// Handler serves the job API. Mount it on the obs server at /jobs
+// (the handler parses the full path itself):
+//
+//	POST /jobs              submit a branchscope.job/v1 spec → 201 JobStatus
+//	GET  /jobs[?tenant=t]   list jobs in submission order
+//	GET  /jobs/{id}         one job's status
+//	GET  /jobs/{id}/stream  follow the job's branchscope.ledger/v1 JSONL
+//	                        stream; EOF means the job settled
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//
+// The handler is mountable before Start: it answers 503 until the
+// service is wired.
+func (s *Service) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
+
+func (s *Service) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.started.Load() {
+		writeError(w, http.StatusServiceUnavailable, 1, "", errors.New("svc: service is starting"))
+		return
+	}
+	rest := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/jobs"), "/")
+	if rest == "" {
+		switch r.Method {
+		case http.MethodPost:
+			s.handleSubmit(w, r)
+		case http.MethodGet:
+			s.handleList(w, r)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+		return
+	}
+	id, action, _ := strings.Cut(rest, "/")
+	switch {
+	case action == "" && r.Method == http.MethodGet:
+		s.handleGet(w, id)
+	case action == "stream" && r.Method == http.MethodGet:
+		s.handleStream(w, r, id)
+	case action == "cancel" && r.Method == http.MethodPost:
+		s.handleCancel(w, id)
+	case action == "" || action == "stream" || action == "cancel":
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// errorDoc is the structured body every non-2xx answer carries, so a
+// shed client can distinguish which quota it hit without parsing prose.
+type errorDoc struct {
+	Error string `json:"error"`
+	Scope string `json:"scope,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header for clients that
+	// only read bodies.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, code, retryAfter int, scope string, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorDoc{Error: err.Error(), Scope: scope, RetryAfterSeconds: retryAfter})
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, 0, "", fmt.Errorf("svc: decoding spec: %w", err))
+		return
+	}
+	st, err := s.Submit(sp)
+	if err != nil {
+		var se *SubmitError
+		if errors.As(err, &se) {
+			writeError(w, se.Code, se.RetryAfter, se.Scope, se)
+		} else {
+			writeError(w, http.StatusInternalServerError, 0, "", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	doc := struct {
+		Schema string      `json:"schema"`
+		Jobs   []JobStatus `json:"jobs"`
+	}{Schema: JobsSchema, Jobs: s.List(r.URL.Query().Get("tenant"))}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, id string) {
+	st, err := s.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, 0, "", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, id string) {
+	st, err := s.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, 0, "", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream replays the job's ledger lines from the start, then
+// follows live appends, flushing per line; the response ends when the
+// job settles (or the client goes away). Settled jobs replay and EOF
+// immediately, so streaming is safe at any point in a job's life.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request, id string) {
+	st, err := s.subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, 0, "", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	for i := 0; ; i++ {
+		line, ok, err := st.next(r.Context(), i)
+		if err != nil || !ok {
+			return
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
